@@ -1,0 +1,99 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (Section 7) on the synthetic dataset corpus and prints them
+// in the paper's layout. Budgets scale the whole study: the paper used
+// 60 s / 30 min / 30 min on a 48-core server; the defaults here finish in
+// about a minute on a laptop and preserve every qualitative shape.
+//
+// Usage:
+//
+//	experiments                 # everything
+//	experiments -only table2    # one experiment: fig5|fig6|fig7|table2|fig8|fig9
+//	experiments -enum-budget 5s # closer to the paper's scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/exp"
+	"repro/internal/gen"
+)
+
+func main() {
+	var (
+		only       = flag.String("only", "", "run a single experiment: fig5|fig6|fig7|table2|fig8|fig9")
+		seed       = flag.Int64("seed", 42, "dataset seed")
+		msBudget   = flag.Duration("ms-budget", 500*time.Millisecond, "minimal separator budget per graph")
+		pmcBudget  = flag.Duration("pmc-budget", time.Second, "PMC budget per graph")
+		enumBudget = flag.Duration("enum-budget", 500*time.Millisecond, "enumeration budget per run")
+	)
+	flag.Parse()
+
+	want := func(name string) bool { return *only == "" || *only == name }
+	out := os.Stdout
+
+	var tract []exp.TractabilityResult
+	datasets := exp.Datasets(*seed)
+
+	if want("fig5") || want("fig6") || want("table2") {
+		rows, results := exp.Figure5(datasets, *msBudget, *pmcBudget)
+		tract = results
+		if want("fig5") {
+			fmt.Fprintf(out, "== Figure 5: tractability of MinSep/PMC (budgets %v / %v)\n\n", *msBudget, *pmcBudget)
+			exp.RenderFigure5(out, rows)
+			fmt.Fprintln(out)
+		}
+		if want("fig6") {
+			fmt.Fprintln(out, "== Figure 6: #minimal separators vs #edges (MS-tractable graphs)")
+			fmt.Fprintln(out)
+			exp.RenderFigure6(out, exp.Figure6(results))
+			fmt.Fprintln(out)
+		}
+	}
+
+	if want("fig7") {
+		fmt.Fprintln(out, "== Figure 7: minimal separators of G(n,p)")
+		fmt.Fprintln(out)
+		pts := exp.Figure7(*seed, []int{20, 30, 50, 70},
+			[]float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4, 0.5, 0.65, 0.8, 0.95}, 3, *msBudget)
+		exp.RenderFigure7(out, pts)
+		fmt.Fprintln(out)
+	}
+
+	if want("table2") {
+		fmt.Fprintf(out, "== Table 2: RankedTriang vs CKK (%v per run, width & fill)\n\n", *enumBudget)
+		rows := exp.Table2(datasets, tract, *enumBudget)
+		exp.RenderTable2(out, rows)
+		fmt.Fprintln(out)
+	}
+
+	if want("fig8") {
+		fmt.Fprintln(out, "== Figure 8: delay and quality on G(n,p)")
+		fmt.Fprintln(out)
+		pts := exp.Figure8(*seed, []int{20}, []float64{0.1, 0.2, 0.3, 0.45, 0.6, 0.75}, 3, *enumBudget)
+		exp.RenderFigure8(out, pts)
+		fmt.Fprintln(out)
+	}
+
+	if want("fig9") {
+		fmt.Fprintln(out, "== Figure 9: case studies (results and widths over time)")
+		fmt.Fprintln(out)
+		rng := rand.New(rand.NewSource(*seed))
+		csp := gen.CSPGrid(rng, 4, 4, 5)
+		obj := gen.ConnectedGNP(rng, 17, 0.3)
+		rankedCSP := exp.RunRanked(csp, cost.Width{}, *enumBudget)
+		ckkCSP := exp.RunCKK(csp, *enumBudget)
+		exp.RenderFigure9(out, "csp-like (myciel-style)",
+			exp.Figure9(rankedCSP, *enumBudget/10, 10), exp.Figure9(ckkCSP, *enumBudget/10, 10))
+		fmt.Fprintln(out)
+		rankedObj := exp.RunRanked(obj, cost.Width{}, *enumBudget)
+		ckkObj := exp.RunCKK(obj, *enumBudget)
+		exp.RenderFigure9(out, "object-detection-like",
+			exp.Figure9(rankedObj, *enumBudget/10, 10), exp.Figure9(ckkObj, *enumBudget/10, 10))
+		fmt.Fprintln(out)
+	}
+}

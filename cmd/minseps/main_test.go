@@ -1,0 +1,28 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadGraphVariants(t *testing.T) {
+	g, err := loadGraph("", "pace", "house")
+	if err != nil || g.NumVertices() != 5 {
+		t.Fatalf("named: %v %v", g, err)
+	}
+	if _, err := loadGraph("", "pace", ""); err == nil {
+		t.Fatalf("empty input accepted")
+	}
+	if _, err := loadGraph("", "bogus", "house"); err != nil {
+		t.Fatalf("named path should ignore format: %v", err)
+	}
+}
+
+func TestVerdict(t *testing.T) {
+	if v := verdict(0.5); !strings.Contains(v, "comfortable") {
+		t.Fatalf("verdict(0.5) = %q", v)
+	}
+	if v := verdict(10); !strings.Contains(v, "stressed") {
+		t.Fatalf("verdict(10) = %q", v)
+	}
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadGraphFormats(t *testing.T) {
+	cases := []struct {
+		format  string
+		content string
+		n, m    int
+	}{
+		{"edges", "a b\nb c\n", 3, 2},
+		{"dimacs", "p edge 3 2\ne 1 2\ne 2 3\n", 3, 2},
+		{"pace", "p tw 4 3\n1 2\n2 3\n3 4\n", 4, 3},
+	}
+	for _, tc := range cases {
+		path := writeTemp(t, "g."+tc.format, tc.content)
+		g, err := loadGraph(path, tc.format, "")
+		if err != nil {
+			t.Fatalf("%s: %v", tc.format, err)
+		}
+		if g.NumVertices() != tc.n || g.NumEdges() != tc.m {
+			t.Fatalf("%s: n=%d m=%d", tc.format, g.NumVertices(), g.NumEdges())
+		}
+	}
+}
+
+func TestLoadGraphNamed(t *testing.T) {
+	g, err := loadGraph("", "pace", "petersen")
+	if err != nil || g.NumVertices() != 10 {
+		t.Fatalf("named load: %v %v", g, err)
+	}
+	if _, err := loadGraph("", "pace", ""); err == nil {
+		t.Fatalf("missing input accepted")
+	}
+	if _, err := loadGraph("/nonexistent", "pace", ""); err == nil {
+		t.Fatalf("missing file accepted")
+	}
+	path := writeTemp(t, "g.x", "p tw 1 0\n")
+	if _, err := loadGraph(path, "nope", ""); err == nil {
+		t.Fatalf("bad format accepted")
+	}
+}
+
+func TestPickCost(t *testing.T) {
+	g, _ := loadGraph("", "pace", "bull")
+	for _, name := range []string{"width", "fill", "lex", "statespace"} {
+		c, err := pickCost(name, g)
+		if err != nil || c == nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := pickCost("bogus", g); err == nil {
+		t.Fatalf("bogus cost accepted")
+	}
+}
+
+func TestNameSet(t *testing.T) {
+	g, _ := loadGraph("", "pace", "bull")
+	s := g.Vertices()
+	out := nameSet(g, s)
+	if !strings.HasPrefix(out, "{") || !strings.HasSuffix(out, "}") {
+		t.Fatalf("nameSet = %q", out)
+	}
+	if strings.Count(out, ",") != 4 {
+		t.Fatalf("bull has 5 vertices: %q", out)
+	}
+}

@@ -1,0 +1,174 @@
+// Probabilistic inference: choosing a junction tree for a Bayesian
+// network.
+//
+// Exact inference cost is governed by the total clique-table size of the
+// junction tree — the sum over bags of the product of variable domain
+// sizes, the paper's "sum over exponents of bag cardinalities" cost. A
+// minimum-width decomposition is not necessarily minimum-table-size when
+// domains are heterogeneous; ranking directly by the state-space cost
+// finds the right tree, and ranking by width shows the gap.
+//
+// Run with: go run ./examples/bayes
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	rankedtriang "repro"
+)
+
+func main() {
+	// A small diagnostic network: diseases with large domains, binary
+	// symptoms. Edges are the moral graph of the DAG.
+	vars := []struct {
+		name   string
+		domain int
+	}{
+		{"age", 8}, {"exposure", 3}, {"disease1", 6}, {"disease2", 6},
+		{"fever", 2}, {"cough", 2}, {"rash", 2}, {"fatigue", 2},
+		{"test1", 3}, {"test2", 3},
+	}
+	n := len(vars)
+	g := rankedtriang.NewGraph(n)
+	domains := make([]int, n)
+	for i, v := range vars {
+		g.SetName(i, v.name)
+		domains[i] = v.domain
+	}
+	edges := [][2]int{
+		{0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, // moralized disease parents
+		{2, 4}, {2, 5}, {3, 6}, {3, 7}, {2, 7},
+		// A chordless diagnostic loop disease1–fever–test1–cough: its
+		// triangulations have equal width but very different table sizes.
+		{4, 8}, {5, 8}, {6, 9}, {3, 9},
+	}
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	fmt.Printf("moral graph: %d variables, %d edges\n\n", g.NumVertices(), g.NumEdges())
+
+	// Rank by total junction-tree state space (the inference cost).
+	space := rankedtriang.StateSpace(domains)
+	solver := rankedtriang.NewSolver(g, space)
+	best, err := solver.MinTriang(nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("minimum state-space junction tree: total table size %.0f, width %d\n",
+		best.Cost, best.Tree.Width())
+	printBags(g, best, domains)
+
+	// Compare against width-based selection: enumerate every minimum-width
+	// junction tree and measure the spread of their table sizes — the
+	// paper's point that same-width decompositions differ by a lot under
+	// the application's real cost.
+	wSolver := rankedtriang.NewSolver(g, rankedtriang.Width())
+	wEnum := wSolver.Enumerate()
+	minWidth := -1
+	worst, bestW := 0.0, 0.0
+	count := 0
+	for {
+		r, ok := wEnum.Next()
+		if !ok {
+			break
+		}
+		if minWidth == -1 {
+			minWidth = r.Tree.Width()
+		}
+		if r.Tree.Width() > minWidth {
+			break // ranked: all later trees are wider
+		}
+		s := stateSpaceOf(r, domains)
+		if count == 0 || s > worst {
+			worst = s
+		}
+		if count == 0 || s < bestW {
+			bestW = s
+		}
+		count++
+	}
+	fmt.Printf("\nall %d minimum-width (width %d) junction trees span table sizes %.0f … %.0f\n",
+		count, minWidth, bestW, worst)
+	fmt.Printf("→ picking a min-width tree blindly risks a %.2fx larger table than the\n", worst/best.Cost)
+	fmt.Println("  state-space optimum; ranked enumeration under the real cost avoids that.")
+
+	// Stream a few more candidates the way an application would, e.g. to
+	// also balance memory locality (simulated here with random tie-break
+	// noise).
+	fmt.Println("\ntop 5 by state space:")
+	rng := rand.New(rand.NewSource(1))
+	enum := solver.Enumerate()
+	for i := 1; i <= 5; i++ {
+		r, ok := enum.Next()
+		if !ok {
+			break
+		}
+		fmt.Printf("  #%d table size %.0f, width %d, locality score %.2f\n",
+			i, r.Cost, r.Tree.Width(), rng.Float64())
+	}
+
+	// And actually run exact inference over the chosen junction tree:
+	// random positive potentials per moral edge, then query a marginal.
+	model := rankedtriang.NewFactorModel(domains)
+	for _, e := range edges {
+		size := domains[e[0]] * domains[e[1]]
+		vals := make([]float64, size)
+		for j := range vals {
+			vals[j] = 0.2 + rng.Float64()
+		}
+		if _, err := model.AddFactor([]int{e[0], e[1]}, vals); err != nil {
+			panic(err)
+		}
+	}
+	tree, err := rankedtriang.BuildJunctionTree(model, best.Tree)
+	if err != nil {
+		panic(err)
+	}
+	marg, err := tree.Marginal(2) // disease1
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nexact inference over the chosen tree (tables: %d entries):\n", tree.TotalTableSize())
+	fmt.Printf("  P(%s) = %s\n", g.Name(2), fmtDist(marg))
+}
+
+func fmtDist(d []float64) string {
+	out := "["
+	for i, p := range d {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%.3f", p)
+	}
+	return out + "]"
+}
+
+func printBags(g *rankedtriang.Graph, r *rankedtriang.Result, domains []int) {
+	for _, b := range r.Bags {
+		size := 1
+		names := ""
+		b.ForEach(func(v int) bool {
+			if names != "" {
+				names += ","
+			}
+			names += g.Name(v)
+			size *= domains[v]
+			return true
+		})
+		fmt.Printf("  clique {%s}: table size %d\n", names, size)
+	}
+}
+
+func stateSpaceOf(r *rankedtriang.Result, domains []int) float64 {
+	total := 0.0
+	for _, b := range r.Bags {
+		size := 1.0
+		b.ForEach(func(v int) bool {
+			size *= float64(domains[v])
+			return true
+		})
+		total += size
+	}
+	return total
+}

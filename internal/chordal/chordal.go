@@ -1,0 +1,249 @@
+// Package chordal implements the chordal-graph toolkit the paper relies on:
+// maximum cardinality search, perfect elimination orderings, a chordality
+// test, maximal cliques of chordal graphs, clique trees (via maximum-weight
+// spanning trees of the clique graph, per Jordan), and the minimal
+// separators of a chordal graph (clique-tree adhesions).
+package chordal
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/td"
+	"repro/internal/vset"
+)
+
+// MCSOrder runs maximum cardinality search on the active vertices of g and
+// returns the vertices in *elimination order*: the reverse of the visit
+// order, so that for chordal graphs the result is a perfect elimination
+// ordering.
+func MCSOrder(g *graph.Graph) []int {
+	n := g.Universe()
+	weight := make([]int, n)
+	visited := vset.New(n)
+	remaining := g.NumVertices()
+	visit := make([]int, 0, remaining)
+	for len(visit) < remaining {
+		best, bestW := -1, -1
+		g.Vertices().ForEach(func(v int) bool {
+			if !visited.Contains(v) && weight[v] > bestW {
+				best, bestW = v, weight[v]
+			}
+			return true
+		})
+		visited.AddInPlace(best)
+		visit = append(visit, best)
+		g.Neighbors(best).ForEach(func(w int) bool {
+			if !visited.Contains(w) {
+				weight[w]++
+			}
+			return true
+		})
+	}
+	// Reverse: last visited is eliminated first.
+	for i, j := 0, len(visit)-1; i < j; i, j = i+1, j-1 {
+		visit[i], visit[j] = visit[j], visit[i]
+	}
+	return visit
+}
+
+// IsPerfectEliminationOrder reports whether order (covering exactly the
+// active vertices of g) is a perfect elimination ordering: for every vertex
+// v, the neighbors of v that come later in the order form a clique.
+func IsPerfectEliminationOrder(g *graph.Graph, order []int) bool {
+	n := g.Universe()
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, v := range order {
+		pos[v] = i
+	}
+	later := make([]vset.Set, len(order))
+	for i, v := range order {
+		lv := vset.New(n)
+		g.Neighbors(v).ForEach(func(w int) bool {
+			if pos[w] > i {
+				lv.AddInPlace(w)
+			}
+			return true
+		})
+		later[i] = lv
+	}
+	// Tarjan–Yannakakis check: it suffices to verify, for each v, that
+	// later(v) minus its earliest member u is contained in N(u).
+	for i, lv := range later {
+		if lv.IsEmpty() {
+			continue
+		}
+		u, uPos := -1, len(order)
+		lv.ForEach(func(w int) bool {
+			if pos[w] < uPos {
+				u, uPos = w, pos[w]
+			}
+			return true
+		})
+		rest := lv.Remove(u)
+		if !rest.SubsetOf(g.Neighbors(u)) {
+			return false
+		}
+		_ = i
+	}
+	return true
+}
+
+// IsChordal reports whether g is chordal, in near-linear time via MCS plus
+// the perfect-elimination check.
+func IsChordal(g *graph.Graph) bool {
+	return IsPerfectEliminationOrder(g, MCSOrder(g))
+}
+
+// ErrNotChordal is returned by operations that require a chordal input.
+var ErrNotChordal = errors.New("chordal: graph is not chordal")
+
+// MaximalCliques returns the maximal cliques of a chordal graph g, sorted
+// canonically. A chordal graph has fewer maximal cliques than vertices
+// (Theorem 2.2), so the result is small.
+func MaximalCliques(g *graph.Graph) ([]vset.Set, error) {
+	order := MCSOrder(g)
+	if !IsPerfectEliminationOrder(g, order) {
+		return nil, ErrNotChordal
+	}
+	n := g.Universe()
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, v := range order {
+		pos[v] = i
+	}
+	// Candidate cliques: {v} ∪ later-neighbors(v) for each v.
+	candidates := make([]vset.Set, 0, len(order))
+	seen := map[string]bool{}
+	for i, v := range order {
+		c := vset.New(n)
+		c.AddInPlace(v)
+		g.Neighbors(v).ForEach(func(w int) bool {
+			if pos[w] > i {
+				c.AddInPlace(w)
+			}
+			return true
+		})
+		if !seen[c.Key()] {
+			seen[c.Key()] = true
+			candidates = append(candidates, c)
+		}
+	}
+	// Keep only the maximal ones.
+	var out []vset.Set
+	for i, c := range candidates {
+		maximal := true
+		for j, d := range candidates {
+			if i != j && c.ProperSubsetOf(d) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out, nil
+}
+
+// CliqueTree returns a clique tree of the chordal graph g: a tree
+// decomposition whose bags are exactly the maximal cliques of g. It is
+// computed as a maximum-weight spanning tree of the clique graph with
+// weights |Ci ∩ Cj| (Jordan's characterization). Disconnected graphs are
+// supported: zero-weight tree edges stitch the forest together, which
+// preserves the junction property because the joined cliques are disjoint.
+func CliqueTree(g *graph.Graph) (*td.Decomposition, error) {
+	cliques, err := MaximalCliques(g)
+	if err != nil {
+		return nil, err
+	}
+	d := td.New()
+	for _, c := range cliques {
+		d.AddNode(c)
+	}
+	k := len(cliques)
+	if k <= 1 {
+		return d, nil
+	}
+	// Prim's algorithm on the complete clique graph.
+	inTree := make([]bool, k)
+	bestW := make([]int, k)
+	bestTo := make([]int, k)
+	for i := range bestW {
+		bestW[i] = -1
+		bestTo[i] = -1
+	}
+	inTree[0] = true
+	for j := 1; j < k; j++ {
+		bestW[j] = cliques[0].IntersectionLen(cliques[j])
+		bestTo[j] = 0
+	}
+	for added := 1; added < k; added++ {
+		pick, w := -1, -2
+		for j := 0; j < k; j++ {
+			if !inTree[j] && bestW[j] > w {
+				pick, w = j, bestW[j]
+			}
+		}
+		inTree[pick] = true
+		d.AddEdge(pick, bestTo[pick])
+		for j := 0; j < k; j++ {
+			if !inTree[j] {
+				if iw := cliques[pick].IntersectionLen(cliques[j]); iw > bestW[j] {
+					bestW[j] = iw
+					bestTo[j] = pick
+				}
+			}
+		}
+	}
+	return d, nil
+}
+
+// MinimalSeparators returns the minimal separators of the chordal graph g:
+// the distinct nonempty adhesions of any clique tree.
+func MinimalSeparators(g *graph.Graph) ([]vset.Set, error) {
+	ct, err := CliqueTree(g)
+	if err != nil {
+		return nil, err
+	}
+	var out []vset.Set
+	for _, s := range ct.Adhesions(g.Universe()) {
+		if !s.IsEmpty() {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// FillEdges returns E(h) \ E(g): the fill set of a triangulation h of g.
+// Both graphs must share a universe and h must contain every edge of g.
+func FillEdges(g, h *graph.Graph) [][2]int {
+	var out [][2]int
+	for _, e := range h.Edges() {
+		if !g.HasEdge(e[0], e[1]) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// IsTriangulationOf reports whether h is a triangulation of g: h is
+// chordal, has the same active vertices, and E(g) ⊆ E(h).
+func IsTriangulationOf(h, g *graph.Graph) bool {
+	if !h.Vertices().Equal(g.Vertices()) {
+		return false
+	}
+	for _, e := range g.Edges() {
+		if !h.HasEdge(e[0], e[1]) {
+			return false
+		}
+	}
+	return IsChordal(h)
+}

@@ -1,0 +1,242 @@
+package chordal
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/vset"
+)
+
+func TestIsChordal(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		want bool
+	}{
+		{"empty", graph.New(0), true},
+		{"single", graph.New(1), true},
+		{"path", gen.Path(6), true},
+		{"triangle", gen.Complete(3), true},
+		{"complete", gen.Complete(6), true},
+		{"C4", gen.Cycle(4), false},
+		{"C5", gen.Cycle(5), false},
+		{"paper", gen.PaperExample(), false},
+		{"grid", gen.Grid(3, 3), false},
+	}
+	for _, tc := range tests {
+		if got := IsChordal(tc.g); got != tc.want {
+			t.Errorf("%s: IsChordal = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestChordalAfterSaturation(t *testing.T) {
+	// Saturating S1 = {w1,w2,w3} yields minimal triangulation H1 of the
+	// paper example; saturating S2 = {u,v} yields H2.
+	g := gen.PaperExample()
+	h1 := g.Saturate(vset.Of(6, 3, 4, 5))
+	h2 := g.Saturate(vset.Of(6, 0, 1))
+	if !IsChordal(h1) || !IsChordal(h2) {
+		t.Fatalf("paper triangulations not chordal")
+	}
+	if !IsTriangulationOf(h1, g) || !IsTriangulationOf(h2, g) {
+		t.Fatalf("IsTriangulationOf rejected valid triangulations")
+	}
+	if IsTriangulationOf(g, g) {
+		t.Fatalf("non-chordal graph accepted as triangulation of itself")
+	}
+	if len(FillEdges(g, h1)) != 3 || len(FillEdges(g, h2)) != 1 {
+		t.Fatalf("fill sizes: %d, %d", len(FillEdges(g, h1)), len(FillEdges(g, h2)))
+	}
+}
+
+func TestMaximalCliquesPaperH1(t *testing.T) {
+	g := gen.PaperExample()
+	h1 := g.Saturate(vset.Of(6, 3, 4, 5))
+	cliques, err := MaximalCliques(h1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []vset.Set{
+		vset.Of(6, 1, 2),       // {v, v'}
+		vset.Of(6, 0, 3, 4, 5), // {u, w1, w2, w3}
+		vset.Of(6, 1, 3, 4, 5), // {v, w1, w2, w3}
+	}
+	if len(cliques) != len(want) {
+		t.Fatalf("got %d cliques: %v", len(cliques), cliques)
+	}
+	got := map[string]bool{}
+	for _, c := range cliques {
+		got[c.Key()] = true
+	}
+	for _, w := range want {
+		if !got[w.Key()] {
+			t.Errorf("missing clique %v", w)
+		}
+	}
+}
+
+func TestMaximalCliquesRejectsNonChordal(t *testing.T) {
+	if _, err := MaximalCliques(gen.Cycle(4)); err != ErrNotChordal {
+		t.Fatalf("want ErrNotChordal, got %v", err)
+	}
+}
+
+func TestCliqueTreePaperH2(t *testing.T) {
+	g := gen.PaperExample()
+	h2 := g.Saturate(vset.Of(6, 0, 1)) // T2's triangulation
+	ct, err := CliqueTree(h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ct.Validate(h2); err != nil {
+		t.Fatalf("clique tree invalid: %v", err)
+	}
+	cliques, _ := MaximalCliques(h2)
+	if !ct.IsCliqueTreeOf(h2, cliques) {
+		t.Fatalf("not a clique tree")
+	}
+	// H2's maximal cliques: {u,v,w1}, {u,v,w2}, {u,v,w3}, {v,v'}.
+	if len(ct.Bags) != 4 {
+		t.Fatalf("bag count = %d", len(ct.Bags))
+	}
+}
+
+func TestMinimalSeparatorsOfChordal(t *testing.T) {
+	g := gen.PaperExample()
+	h2 := g.Saturate(vset.Of(6, 0, 1))
+	seps, err := MinimalSeparators(h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MinSep(H2) = {{u,v}, {v}} per Parra–Scheffler (M2 = {S2, S3}).
+	want := map[string]bool{vset.Of(6, 0, 1).Key(): true, vset.Of(6, 1).Key(): true}
+	if len(seps) != 2 {
+		t.Fatalf("got %d separators: %v", len(seps), seps)
+	}
+	for _, s := range seps {
+		if !want[s.Key()] {
+			t.Errorf("unexpected separator %v", s)
+		}
+	}
+}
+
+func TestCliqueTreeDisconnected(t *testing.T) {
+	g := graph.New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	// vertex 4 isolated
+	ct, err := CliqueTree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ct.Validate(g); err != nil {
+		t.Fatalf("disconnected clique tree invalid: %v", err)
+	}
+	if len(ct.Bags) != 3 {
+		t.Fatalf("bags = %d, want 3", len(ct.Bags))
+	}
+}
+
+func TestPEOExplicit(t *testing.T) {
+	// A path 0-1-2: order [0,1,2] is a PEO, order [1,0,2] is too
+	// (every vertex has at most one later neighbor).
+	g := gen.Path(3)
+	if !IsPerfectEliminationOrder(g, []int{0, 1, 2}) {
+		t.Errorf("[0 1 2] should be a PEO of a path")
+	}
+	// C4 has no PEO at all.
+	c4 := gen.Cycle(4)
+	perms := [][]int{{0, 1, 2, 3}, {0, 2, 1, 3}, {1, 3, 0, 2}, {3, 2, 1, 0}}
+	for _, p := range perms {
+		if IsPerfectEliminationOrder(c4, p) {
+			t.Errorf("order %v accepted as PEO of C4", p)
+		}
+	}
+}
+
+func TestRandomChordalInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		// k-trees are chordal by construction.
+		n := 3 + rng.Intn(15)
+		k := 1 + rng.Intn(3)
+		g := gen.KTree(rng, n, k, 0)
+		if !IsChordal(g) {
+			t.Fatalf("k-tree not detected chordal (n=%d k=%d)", n, k)
+		}
+		cliques, err := MaximalCliques(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cliques) >= g.NumVertices()+1 {
+			t.Fatalf("chordal graph has %d maximal cliques, ≥ n+1", len(cliques))
+		}
+		for _, c := range cliques {
+			if !g.IsClique(c) {
+				t.Fatalf("reported clique is not a clique: %v", c)
+			}
+		}
+		ct, err := CliqueTree(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ct.Validate(g); err != nil {
+			t.Fatalf("clique tree invalid: %v", err)
+		}
+		if !ct.IsCliqueTreeOf(g, cliques) {
+			t.Fatalf("clique tree bags are not the maximal cliques")
+		}
+	}
+}
+
+func TestMCSOrderIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		g := gen.GNP(rng, 1+rng.Intn(20), 0.3)
+		order := MCSOrder(g)
+		if len(order) != g.NumVertices() {
+			t.Fatalf("order length %d != %d", len(order), g.NumVertices())
+		}
+		seen := map[int]bool{}
+		for _, v := range order {
+			if seen[v] {
+				t.Fatalf("duplicate vertex %d in MCS order", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestMinimalSeparatorsAreSeparators(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		g := gen.KTree(rng, 4+rng.Intn(10), 2, 0)
+		seps, err := MinimalSeparators(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range seps {
+			comps := g.ComponentsAvoiding(s)
+			full := 0
+			for _, c := range comps {
+				if g.NeighborsOfSet(c).Equal(s) {
+					full++
+				}
+			}
+			if full < 2 {
+				t.Fatalf("adhesion %v is not a minimal separator", s)
+			}
+		}
+		// Separators are sorted and unique.
+		for i := 1; i < len(seps); i++ {
+			if seps[i-1].Compare(seps[i]) >= 0 {
+				t.Fatalf("separators not sorted/unique")
+			}
+		}
+		sort.Slice(seps, func(i, j int) bool { return seps[i].Compare(seps[j]) < 0 })
+	}
+}

@@ -1,0 +1,67 @@
+package chordal
+
+import (
+	"repro/internal/graph"
+	"repro/internal/mst"
+	"repro/internal/td"
+	"repro/internal/vset"
+)
+
+// CliqueTreeEnumerator streams every clique tree of a chordal graph.
+// By Jordan's characterization these are exactly the maximum-weight
+// spanning trees of the clique graph with adhesion-size weights, so the
+// enumeration delegates to mst.Enumerate. Since a chordal graph has fewer
+// maximal cliques than vertices, each tree is produced with polynomial
+// delay — the ingredient Proposition 6.1 needs to turn ranked
+// triangulation enumeration into ranked proper-tree-decomposition
+// enumeration.
+type CliqueTreeEnumerator struct {
+	cliques []vset.Set
+	edges   []mst.Edge
+	inner   *mst.Enumerator
+	done    bool
+}
+
+// EnumerateCliqueTrees prepares the enumeration of all clique trees of the
+// chordal graph g. It fails with ErrNotChordal on non-chordal input.
+func EnumerateCliqueTrees(g *graph.Graph) (*CliqueTreeEnumerator, error) {
+	cliques, err := MaximalCliques(g)
+	if err != nil {
+		return nil, err
+	}
+	e := &CliqueTreeEnumerator{cliques: cliques}
+	for i := 0; i < len(cliques); i++ {
+		for j := i + 1; j < len(cliques); j++ {
+			e.edges = append(e.edges, mst.Edge{A: i, B: j, W: cliques[i].IntersectionLen(cliques[j])})
+		}
+	}
+	e.inner = mst.Enumerate(len(cliques), e.edges)
+	return e, nil
+}
+
+// Next returns the next clique tree, or ok=false when all have been
+// produced.
+func (e *CliqueTreeEnumerator) Next() (*td.Decomposition, bool) {
+	if e.done || len(e.cliques) == 0 {
+		return nil, false
+	}
+	if len(e.cliques) == 1 {
+		// A single maximal clique has exactly one (edgeless) clique tree.
+		e.done = true
+		d := td.New()
+		d.AddNode(e.cliques[0])
+		return d, true
+	}
+	treeEdges, ok := e.inner.Next()
+	if !ok {
+		return nil, false
+	}
+	d := td.New()
+	for _, c := range e.cliques {
+		d.AddNode(c)
+	}
+	for _, ei := range treeEdges {
+		d.AddEdge(e.edges[ei].A, e.edges[ei].B)
+	}
+	return d, true
+}

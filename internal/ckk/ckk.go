@@ -1,0 +1,208 @@
+// Package ckk reimplements the paper's baseline: the Carmeli–Kenig–
+// Kimelfeld (PODS 2017) enumeration of all minimal triangulations in
+// incremental polynomial time, with no guarantee on the order.
+//
+// The algorithm enumerates the maximal independent sets of the
+// Parra–Scheffler separator graph (vertices: minimal separators, edges:
+// crossing pairs) without materializing it. The extension oracle saturates
+// a pairwise-parallel family of minimal separators and hands the result to
+// a black-box minimal triangulator (LB-Triang by default, the choice of
+// the paper's experiments). The separator universe is produced lazily by a
+// streaming Berry–Bordat–Cogis generator interleaved with the
+// independent-set moves, so there is no expensive upfront initialization —
+// the practical difference from RankedTriang that the paper's Table 2
+// measures.
+package ckk
+
+import (
+	"repro/internal/chordal"
+	"repro/internal/graph"
+	"repro/internal/minsep"
+	"repro/internal/triang"
+	"repro/internal/vset"
+)
+
+// Triangulator is the black-box minimal triangulation routine the
+// enumeration relies on.
+type Triangulator func(*graph.Graph) *graph.Graph
+
+// Result is one enumerated minimal triangulation.
+type Result struct {
+	H    *graph.Graph
+	Seps []vset.Set
+}
+
+// Enumerator streams all minimal triangulations of a graph, unordered.
+// Create one with New, then call Next until exhaustion.
+type Enumerator struct {
+	g    *graph.Graph
+	tri  Triangulator
+	out  []*Result
+	seen map[string]bool
+
+	stream *sepStream
+	seps   []vset.Set // separators drawn from the stream so far
+
+	results []*Result
+	cursor  []int // per result: moves with seps[0:cursor] are done
+	next    int   // round-robin pointer
+}
+
+// New starts the CKK enumeration of the minimal triangulations of g,
+// using tri as the black box (nil selects LB-Triang).
+func New(g *graph.Graph, tri Triangulator) *Enumerator {
+	if tri == nil {
+		tri = triang.Minimal
+	}
+	e := &Enumerator{
+		g:      g,
+		tri:    tri,
+		seen:   map[string]bool{},
+		stream: newSepStream(g),
+	}
+	e.produce(nil)
+	return e
+}
+
+// produce extends the pairwise-parallel family p to a minimal
+// triangulation and registers it if new.
+func (e *Enumerator) produce(p []vset.Set) {
+	h := e.tri(minsep.Saturate(e.g, p))
+	key := h.EdgeSetKey()
+	if e.seen[key] {
+		return
+	}
+	e.seen[key] = true
+	seps, err := chordal.MinimalSeparators(h)
+	if err != nil {
+		panic("ckk: black-box triangulator returned a non-chordal graph: " + err.Error())
+	}
+	r := &Result{H: h, Seps: seps}
+	e.out = append(e.out, r)
+	e.results = append(e.results, r)
+	e.cursor = append(e.cursor, 0)
+}
+
+// step performs one unit of pending work: either a (result, separator)
+// move, or pulling one more separator from the lazy generator. It reports
+// whether anything remained to do.
+func (e *Enumerator) step() bool {
+	// Apply a pending move if any result has one.
+	for scanned := 0; scanned < len(e.results); scanned++ {
+		i := (e.next + scanned) % len(e.results)
+		if e.cursor[i] >= len(e.seps) {
+			continue
+		}
+		r := e.results[i]
+		s := e.seps[e.cursor[i]]
+		e.cursor[i]++
+		e.next = i
+		e.move(r, s)
+		return true
+	}
+	// All moves done; grow the separator universe.
+	if s, ok := e.stream.next(); ok {
+		e.seps = append(e.seps, s)
+		return true
+	}
+	return false
+}
+
+// move generates the child of r with respect to separator s: keep the
+// members of r parallel to s, force s in, and re-extend (the standard
+// maximal-independent-set exchange step).
+func (e *Enumerator) move(r *Result, s vset.Set) {
+	for _, t := range r.Seps {
+		if t.Equal(s) {
+			return
+		}
+	}
+	p := []vset.Set{s}
+	for _, t := range r.Seps {
+		if minsep.Parallel(e.g, t, s) {
+			p = append(p, t)
+		}
+	}
+	e.produce(p)
+}
+
+// Next returns the next minimal triangulation, or ok=false when the
+// enumeration is complete. Results appear in no particular order.
+func (e *Enumerator) Next() (*Result, bool) {
+	for len(e.out) == 0 {
+		if !e.step() {
+			return nil, false
+		}
+	}
+	r := e.out[0]
+	e.out = e.out[1:]
+	return r, true
+}
+
+// All drains the enumeration (testing convenience; real clients stream).
+func (e *Enumerator) All() []*Result {
+	var out []*Result
+	for {
+		r, ok := e.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+// sepStream produces the minimal separators of a graph lazily, in
+// Berry–Bordat–Cogis order: the neighborhood-seeded separators first, then
+// the closure under the S ↦ N(component of G \ (S ∪ N(x))) expansion.
+type sepStream struct {
+	g        *graph.Graph
+	all      []vset.Set
+	seen     map[string]bool
+	produced int // prefix of all already handed out
+	expanded int // prefix of all already expanded
+}
+
+func newSepStream(g *graph.Graph) *sepStream {
+	ss := &sepStream{g: g, seen: map[string]bool{}}
+	g.Vertices().ForEach(func(v int) bool {
+		for _, c := range g.ComponentsAvoiding(g.ClosedNeighborhood(v)) {
+			ss.add(g.NeighborsOfSet(c))
+		}
+		return true
+	})
+	return ss
+}
+
+func (ss *sepStream) add(s vset.Set) {
+	if s.IsEmpty() {
+		return
+	}
+	k := s.Key()
+	if !ss.seen[k] {
+		ss.seen[k] = true
+		ss.all = append(ss.all, s)
+	}
+}
+
+// next returns one more minimal separator, expanding known separators on
+// demand, or ok=false when the closure is exhausted.
+func (ss *sepStream) next() (vset.Set, bool) {
+	for ss.produced >= len(ss.all) && ss.expanded < len(ss.all) {
+		s := ss.all[ss.expanded]
+		ss.expanded++
+		s.ForEach(func(x int) bool {
+			avoid := s.Union(ss.g.Neighbors(x))
+			avoid.AddInPlace(x)
+			for _, c := range ss.g.ComponentsAvoiding(avoid) {
+				ss.add(ss.g.NeighborsOfSet(c))
+			}
+			return true
+		})
+	}
+	if ss.produced < len(ss.all) {
+		s := ss.all[ss.produced]
+		ss.produced++
+		return s, true
+	}
+	return vset.Set{}, false
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/vset"
+)
+
+// compiledConstraints is the DP-ready form of κ[I,X] (Section 6.1): the
+// non-edge pairs of every constraint separator get global indices, each
+// block solution carries a coverage bitmask over those indices, and the
+// clique test for a constraint at a block (S, C) treats pairs inside S as
+// present — they are edges of the realization R(S, C), which is exactly
+// what makes the local check agree with the global semantics (Lemma 6.2).
+type compiledConstraints struct {
+	words int
+	pairs []conPair
+	cons  []conInfo
+}
+
+type conPair struct {
+	u, v int
+	con  int
+}
+
+type conInfo struct {
+	span    vset.Set
+	include bool
+	first   int // index of first pair in pairs
+	count   int
+}
+
+// compileConstraints indexes the non-edge pairs of each constraint
+// separator. Pairs that are edges of g are always present in any
+// triangulation and are omitted.
+func compileConstraints(g *graph.Graph, c *cost.Constraints) *compiledConstraints {
+	if c.IsEmpty() {
+		return nil
+	}
+	cc := &compiledConstraints{}
+	add := func(s vset.Set, include bool) {
+		info := conInfo{span: s, include: include, first: len(cc.pairs)}
+		vs := s.Slice()
+		for i := 0; i < len(vs); i++ {
+			for j := i + 1; j < len(vs); j++ {
+				if !g.HasEdge(vs[i], vs[j]) {
+					cc.pairs = append(cc.pairs, conPair{u: vs[i], v: vs[j], con: len(cc.cons)})
+				}
+			}
+		}
+		info.count = len(cc.pairs) - info.first
+		cc.cons = append(cc.cons, info)
+	}
+	for _, s := range c.Include {
+		add(s, true)
+	}
+	for _, s := range c.Exclude {
+		add(s, false)
+	}
+	cc.words = (len(cc.pairs) + 63) / 64
+	return cc
+}
+
+// addBagPairs marks every constraint pair contained in the bag omega.
+func (cc *compiledConstraints) addBagPairs(mask []uint64, omega vset.Set) {
+	for i, p := range cc.pairs {
+		if omega.Contains(p.u) && omega.Contains(p.v) {
+			mask[i/64] |= 1 << uint(i%64)
+		}
+	}
+}
+
+// check evaluates every constraint whose separator lies inside the block
+// span: inclusion separators must already be cliques of the block's
+// triangulation (pairs covered by a bag or inside the block separator),
+// exclusion separators must not. It returns false when some constraint is
+// violated, i.e. κ[I,X] = ∞ for this sub-decomposition.
+func (cc *compiledConstraints) check(span, blockSep vset.Set, mask []uint64) bool {
+	for _, info := range cc.cons {
+		if !info.span.SubsetOf(span) {
+			continue
+		}
+		clique := true
+		for i := info.first; i < info.first+info.count; i++ {
+			if mask[i/64]&(1<<uint(i%64)) != 0 {
+				continue
+			}
+			p := cc.pairs[i]
+			if blockSep.Contains(p.u) && blockSep.Contains(p.v) {
+				continue
+			}
+			clique = false
+			break
+		}
+		if clique != info.include {
+			return false
+		}
+	}
+	return true
+}

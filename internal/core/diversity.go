@@ -1,0 +1,82 @@
+package core
+
+import (
+	"repro/internal/graph"
+)
+
+// FillDistance is the diversification metric suggested by the paper's
+// concluding remarks, made concrete: the size of the symmetric difference
+// of the two triangulations' fill sets. Two triangulations at distance 0
+// are identical (Parra–Scheffler: a minimal triangulation is determined by
+// its fill set).
+func FillDistance(g *graph.Graph, a, b *Result) int {
+	fills := func(h *graph.Graph) map[[2]int]bool {
+		out := map[[2]int]bool{}
+		for _, e := range h.Edges() {
+			if !g.HasEdge(e[0], e[1]) {
+				out[e] = true
+			}
+		}
+		return out
+	}
+	fa, fb := fills(a.H), fills(b.H)
+	d := 0
+	for e := range fa {
+		if !fb[e] {
+			d++
+		}
+	}
+	for e := range fb {
+		if !fa[e] {
+			d++
+		}
+	}
+	return d
+}
+
+// DiverseTopK addresses the diversification question of the paper's
+// concluding remarks: among the `window` cheapest minimal triangulations,
+// greedily select k that maximize the minimum pairwise fill distance,
+// always keeping the overall optimum first. The result is a small
+// portfolio of cheap-but-structurally-different decompositions for the
+// application to evaluate, rather than k near-duplicates.
+//
+// window ≤ 0 means 4k. The enumeration stops early when the space is
+// exhausted.
+func (s *Solver) DiverseTopK(k, window int) []*Result {
+	if k <= 0 {
+		return nil
+	}
+	if window < k {
+		window = 4 * k
+	}
+	pool := s.TopK(window)
+	if len(pool) <= k {
+		return pool
+	}
+	chosen := []*Result{pool[0]} // the optimum is non-negotiable
+	used := map[int]bool{0: true}
+	for len(chosen) < k {
+		bestIdx, bestDist := -1, -1
+		for i, cand := range pool {
+			if used[i] {
+				continue
+			}
+			minDist := int(^uint(0) >> 1)
+			for _, c := range chosen {
+				if d := FillDistance(s.g, cand, c); d < minDist {
+					minDist = d
+				}
+			}
+			if minDist > bestDist {
+				bestIdx, bestDist = i, minDist
+			}
+		}
+		if bestIdx == -1 {
+			break
+		}
+		used[bestIdx] = true
+		chosen = append(chosen, pool[bestIdx])
+	}
+	return chosen
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"container/heap"
+	"sync"
+
+	"repro/internal/cost"
+	"repro/internal/vset"
+)
+
+// Enumerator streams the minimal triangulations of a graph by increasing
+// cost — the RankedTriang algorithm of Figure 4. Obtain one from
+// Solver.Enumerate and call Next until it reports exhaustion.
+//
+// Each partition of the unexplored space is an inclusion/exclusion
+// constraint pair [I, X] held in a priority queue together with that
+// partition's cheapest member; popping a partition emits its member and
+// splits the remainder Lawler–Murty style over the member's minimal
+// separators.
+type Enumerator struct {
+	s       *Solver
+	queue   partitionQueue
+	seq     int
+	workers int // parallel branch solving when > 1
+}
+
+type partition struct {
+	res  *Result
+	cons *cost.Constraints
+	seq  int
+}
+
+// partitionQueue is a min-heap on (cost, insertion sequence).
+type partitionQueue []*partition
+
+func (q partitionQueue) Len() int { return len(q) }
+func (q partitionQueue) Less(i, j int) bool {
+	if q[i].res.Cost != q[j].res.Cost {
+		return q[i].res.Cost < q[j].res.Cost
+	}
+	return q[i].seq < q[j].seq
+}
+func (q partitionQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *partitionQueue) Push(x interface{}) { *q = append(*q, x.(*partition)) }
+func (q *partitionQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return item
+}
+
+// Enumerate starts RankedTriang⟨κ⟩(G) over the solver's precomputed
+// structures. The first result is a minimum-cost minimal triangulation.
+func (s *Solver) Enumerate() *Enumerator {
+	return s.EnumerateParallel(1)
+}
+
+// EnumerateParallel is Enumerate with the Lawler–Murty branch
+// optimizations solved by a pool of workers — the delay-reduction
+// parallelization the paper sketches in Section 7.1 (footnote 3). The
+// emitted sequence is identical to the sequential enumeration: branches
+// are re-ordered deterministically before entering the queue. The solver's
+// static structures are read-only during enumeration, so the cost function
+// must merely be safe for concurrent Eval calls (all built-ins are).
+func (s *Solver) EnumerateParallel(workers int) *Enumerator {
+	if workers < 1 {
+		workers = 1
+	}
+	e := &Enumerator{s: s, workers: workers}
+	if r, err := s.MinTriang(nil); err == nil {
+		e.push(r, &cost.Constraints{})
+	}
+	return e
+}
+
+func (e *Enumerator) push(r *Result, cons *cost.Constraints) {
+	e.seq++
+	heap.Push(&e.queue, &partition{res: r, cons: cons, seq: e.seq})
+}
+
+// Next returns the next minimal triangulation in non-decreasing cost
+// order, or ok=false when the enumeration is complete. The time between
+// consecutive calls is polynomial in the initialization size (polynomial
+// delay under poly-MS, Theorem 4.4).
+func (e *Enumerator) Next() (*Result, bool) {
+	if len(e.queue) == 0 {
+		return nil, false
+	}
+	p := heap.Pop(&e.queue).(*partition)
+
+	// Split the remainder of the partition. Let S1..Sk be the minimal
+	// separators of the popped triangulation outside I; branch i forces
+	// S1..S_{i-1} in and Si out. Note the loop runs to k (not the paper's
+	// k-1; see DESIGN.md — the k-th branch "all but Sk" is nonempty in
+	// general and dropping it loses completeness).
+	inI := map[string]bool{}
+	for _, s := range p.cons.Include {
+		inI[s.Key()] = true
+	}
+	var fresh []vset.Set
+	for _, s := range p.res.Seps {
+		if !inI[s.Key()] {
+			fresh = append(fresh, s)
+		}
+	}
+	// Build the branch constraint sets, then solve them (in parallel when
+	// workers > 1) and push any nonempty partitions in branch order, which
+	// keeps the queue state — and hence the output — identical to the
+	// sequential run.
+	branches := make([]*cost.Constraints, len(fresh))
+	cons := p.cons
+	for i, si := range fresh {
+		branches[i] = cons.WithExclude(si)
+		cons = cons.WithInclude(si)
+	}
+	results := make([]*Result, len(branches))
+	if e.workers <= 1 || len(branches) <= 1 {
+		for i, b := range branches {
+			if r, err := e.s.MinTriang(b); err == nil {
+				results[i] = r
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < e.workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					if r, err := e.s.MinTriang(branches[i]); err == nil {
+						results[i] = r
+					}
+				}
+			}()
+		}
+		for i := range branches {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	}
+	for i, r := range results {
+		if r != nil {
+			e.push(r, branches[i])
+		}
+	}
+	return p.res, true
+}
+
+// Remaining reports how many partitions are currently queued (mainly for
+// instrumentation).
+func (e *Enumerator) Remaining() int { return len(e.queue) }
+
+// TopK returns up to k minimal triangulations of the solver's graph by
+// increasing cost.
+func (s *Solver) TopK(k int) []*Result {
+	e := s.Enumerate()
+	var out []*Result
+	for len(out) < k {
+		r, ok := e.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(12321))
+	for trial := 0; trial < 20; trial++ {
+		g := gen.GNP(rng, 3+rng.Intn(6), 0.4)
+		c := cost.FillIn{}
+		seq := NewSolver(g, c).Enumerate()
+		par := NewSolver(g, c).EnumerateParallel(4)
+		for step := 0; ; step++ {
+			rs, okS := seq.Next()
+			rp, okP := par.Next()
+			if okS != okP {
+				t.Fatalf("trial %d step %d: exhaustion mismatch", trial, step)
+			}
+			if !okS {
+				break
+			}
+			if rs.H.EdgeSetKey() != rp.H.EdgeSetKey() {
+				t.Fatalf("trial %d step %d: parallel emitted a different triangulation", trial, step)
+			}
+			if rs.Cost != rp.Cost {
+				t.Fatalf("trial %d step %d: cost mismatch %v vs %v", trial, step, rs.Cost, rp.Cost)
+			}
+		}
+	}
+}
+
+func TestParallelWorkerClamping(t *testing.T) {
+	s := NewSolver(gen.Cycle(5), cost.Width{})
+	e := s.EnumerateParallel(0) // clamps to 1
+	n := 0
+	for {
+		if _, ok := e.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 5 {
+		t.Fatalf("C5: %d results, want 5", n)
+	}
+}
+
+func TestFillDistance(t *testing.T) {
+	g := gen.PaperExample()
+	s := NewSolver(g, cost.FillIn{})
+	results := s.TopK(2)
+	if len(results) != 2 {
+		t.Fatalf("need both paper triangulations")
+	}
+	if d := FillDistance(g, results[0], results[0]); d != 0 {
+		t.Fatalf("self distance = %d", d)
+	}
+	// H2 fills {u,v}; H1 fills the three w-pairs: symmetric diff 4.
+	if d := FillDistance(g, results[0], results[1]); d != 4 {
+		t.Fatalf("H1–H2 distance = %d, want 4", d)
+	}
+	if FillDistance(g, results[0], results[1]) != FillDistance(g, results[1], results[0]) {
+		t.Fatalf("distance not symmetric")
+	}
+}
+
+func TestDiverseTopK(t *testing.T) {
+	g := gen.Cycle(7)
+	s := NewSolver(g, cost.FillIn{})
+	div := s.DiverseTopK(4, 0)
+	if len(div) != 4 {
+		t.Fatalf("selected %d", len(div))
+	}
+	// The optimum always leads.
+	best, err := s.MinTriang(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div[0].Cost != best.Cost {
+		t.Fatalf("diverse set does not start at the optimum")
+	}
+	// All distinct (pairwise distance > 0).
+	for i := range div {
+		for j := i + 1; j < len(div); j++ {
+			if FillDistance(g, div[i], div[j]) == 0 {
+				t.Fatalf("duplicate in diverse set")
+			}
+		}
+	}
+	// Greedy max-min beats taking the ranked prefix: compare the minimum
+	// pairwise distance of the two sets.
+	prefix := s.TopK(4)
+	if minPairDist(g, div) < minPairDist(g, prefix) {
+		t.Fatalf("diverse selection worse than ranked prefix: %d < %d",
+			minPairDist(g, div), minPairDist(g, prefix))
+	}
+	// Degenerate inputs.
+	if got := s.DiverseTopK(0, 10); got != nil {
+		t.Fatalf("k=0 returned results")
+	}
+	if got := s.DiverseTopK(1000, 2000); len(got) != 42 {
+		// C7 has Catalan(5) = 42 minimal triangulations.
+		t.Fatalf("exhaustive diverse selection = %d, want 42", len(got))
+	}
+}
+
+func minPairDist(g *graph.Graph, rs []*Result) int {
+	min := int(^uint(0) >> 1)
+	for i := range rs {
+		for j := i + 1; j < len(rs); j++ {
+			if d := FillDistance(g, rs[i], rs[j]); d < min {
+				min = d
+			}
+		}
+	}
+	return min
+}

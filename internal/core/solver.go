@@ -1,0 +1,308 @@
+// Package core implements the paper's contribution: MinTriang, the
+// dynamic program of Figure 3 computing a minimum-cost minimal
+// triangulation for any split-monotone bag cost (generalizing
+// Bouchitté–Todinca), its bounded-width variant MinTriangB (Section 5.3),
+// and RankedTriang, the Lawler–Murty ranked enumeration of Figure 4.
+package core
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/minsep"
+	"repro/internal/pmc"
+	"repro/internal/td"
+	"repro/internal/vset"
+)
+
+// Result is one minimal triangulation produced by the solver: the chordal
+// graph H, a clique tree of it, its bags (= maximal cliques of H), its
+// minimal separators, and its cost.
+type Result struct {
+	H    *graph.Graph
+	Tree *td.Decomposition
+	Bags []vset.Set
+	Seps []vset.Set
+	Cost float64
+}
+
+// candidate is one PMC usable at a block, with the blocks of its
+// components inside the realization precomputed (they are full blocks of
+// the input graph, Theorem 5.4, so they index into Solver.blocks).
+type candidate struct {
+	omega    vset.Set
+	children []int
+}
+
+// blockData is the static, constraint-independent description of a block:
+// the DP re-solves costs per constraint set over this fixed structure.
+type blockData struct {
+	block pmc.Block
+	span  vset.Set
+	cands []candidate
+}
+
+// Solver carries the initialization state of the algorithms: the minimal
+// separators, the potential maximal cliques, and the full-block DAG. The
+// paper computes these once and shares them across all MinTriang
+// invocations of the enumeration (Section 7.1); Solver does the same.
+type Solver struct {
+	g      *graph.Graph
+	c      cost.Cost
+	comb   cost.Combinable // non-nil fast path
+	bound  int             // width bound, or -1
+	seps   []vset.Set
+	pmcs   []vset.Set
+	blocks []blockData // sorted by |span|; the last entry is the top level
+
+	// InitDuration records the time spent computing separators, PMCs and
+	// the block structure — the "init" column of the paper's Table 2.
+	InitDuration time.Duration
+}
+
+// ErrNoTriangulation is reported when no minimal triangulation satisfies
+// the width bound and constraints.
+var ErrNoTriangulation = errors.New("core: no admissible minimal triangulation")
+
+// NewSolver initializes the unbounded solver: it computes MinSep(G),
+// PMC(G) and the full-block structure (lines 1–2 of Figure 3). The cost
+// must be a split-monotone bag cost; costs implementing cost.Combinable
+// use the fast combining path.
+func NewSolver(g *graph.Graph, c cost.Cost) *Solver {
+	return newSolver(g, c, -1)
+}
+
+// NewBoundedSolver initializes MinTriangB⟨b, κ⟩: only minimal separators
+// of size ≤ b and potential maximal cliques of size ≤ b+1 participate, so
+// every produced triangulation has width ≤ b (Theorem 5.6).
+func NewBoundedSolver(g *graph.Graph, c cost.Cost, b int) *Solver {
+	if b < 0 {
+		panic("core: negative width bound")
+	}
+	return newSolver(g, c, b)
+}
+
+func newSolver(g *graph.Graph, c cost.Cost, bound int) *Solver {
+	start := time.Now()
+	s := &Solver{g: g, c: c, bound: bound}
+	if comb, ok := c.(cost.Combinable); ok {
+		s.comb = comb
+	}
+	if bound >= 0 {
+		s.seps = minsep.AtMost(g, bound)
+		s.pmcs = pmc.AtMost(g, bound+1)
+	} else {
+		s.seps = minsep.All(g)
+		s.pmcs = pmc.All(g)
+	}
+	s.buildBlocks()
+	s.InitDuration = time.Since(start)
+	return s
+}
+
+// buildBlocks constructs the static DP structure: all full blocks sorted
+// by cardinality, each with its admissible PMCs and their sub-blocks, plus
+// a virtual top-level block (S = ∅, C = V).
+func (s *Solver) buildBlocks() {
+	g := s.g
+	full := pmc.FullBlocks(g, s.seps)
+	index := map[string]int{}
+	for i, b := range full {
+		index[b.Key()] = i
+	}
+	s.blocks = make([]blockData, 0, len(full)+1)
+	for _, b := range full {
+		s.blocks = append(s.blocks, blockData{block: b, span: b.Vertices()})
+	}
+	top := pmc.Block{S: vset.New(g.Universe()), C: g.Vertices().Clone()}
+	s.blocks = append(s.blocks, blockData{block: top, span: g.Vertices().Clone()})
+
+	for i := range s.blocks {
+		bd := &s.blocks[i]
+		for _, omega := range s.pmcs {
+			if !omega.SubsetOf(bd.span) || !bd.block.S.ProperSubsetOf(omega) {
+				continue
+			}
+			cand := candidate{omega: omega}
+			ok := true
+			for _, ci := range g.ComponentsWithin(bd.span.Diff(omega)) {
+				si := g.NeighborsOfSet(ci).Intersect(bd.span)
+				child, found := index[(pmc.Block{S: si, C: ci}).Key()]
+				if !found {
+					// Under a width bound the child block may have been
+					// pruned, making this PMC unusable here. In the
+					// unbounded case Theorem 5.4 guarantees the lookup
+					// succeeds.
+					ok = false
+					break
+				}
+				cand.children = append(cand.children, child)
+			}
+			if ok {
+				bd.cands = append(bd.cands, cand)
+			}
+		}
+	}
+}
+
+// Graph returns the input graph.
+func (s *Solver) Graph() *graph.Graph { return s.g }
+
+// Cost returns the solver's cost function.
+func (s *Solver) Cost() cost.Cost { return s.c }
+
+// MinimalSeparators returns the precomputed MinSep(G) (restricted by the
+// width bound for bounded solvers).
+func (s *Solver) MinimalSeparators() []vset.Set { return s.seps }
+
+// PMCs returns the precomputed PMC(G) (restricted by the width bound).
+func (s *Solver) PMCs() []vset.Set { return s.pmcs }
+
+// NumFullBlocks returns the number of full blocks in the DP.
+func (s *Solver) NumFullBlocks() int { return len(s.blocks) - 1 }
+
+// blockSol is the per-constraint-set DP value of one block.
+type blockSol struct {
+	ok       bool
+	cand     int // index into blockData.cands
+	value    float64
+	max, sum float64  // cost.Combinable summary
+	coverage []uint64 // constraint-pair coverage bitmask
+	bags     []vset.Set
+}
+
+// MinTriang returns a minimum-cost minimal triangulation of the input
+// graph subject to the constraints (nil means unconstrained), or
+// ErrNoTriangulation when the constrained space (or bounded-width space)
+// is empty. This is MinTriang⟨κ[I,X]⟩(G) of the paper.
+func (s *Solver) MinTriang(cons *cost.Constraints) (*Result, error) {
+	g := s.g
+	if g.NumVertices() == 0 {
+		return &Result{H: g.Clone(), Tree: td.New(), Cost: s.evalBags(g, nil)}, nil
+	}
+	cc := compileConstraints(g, cons)
+	sols := make([]blockSol, len(s.blocks))
+	for i := range s.blocks {
+		sols[i] = s.solveBlock(i, cc, sols)
+	}
+	topSol := sols[len(s.blocks)-1]
+	if !topSol.ok {
+		return nil, ErrNoTriangulation
+	}
+	return s.buildResult(len(s.blocks)-1, sols), nil
+}
+
+// solveBlock evaluates every admissible PMC of block bi over the already
+// solved smaller blocks and keeps the cheapest (lines 3–5 of Figure 3;
+// line 6 for the virtual top block).
+func (s *Solver) solveBlock(bi int, cc *compiledConstraints, sols []blockSol) blockSol {
+	bd := &s.blocks[bi]
+	best := blockSol{ok: false, value: math.Inf(1)}
+	for ci := range bd.cands {
+		cand := &bd.cands[ci]
+		sol, ok := s.evalCandidate(bd, cand, cc, sols)
+		if !ok {
+			continue
+		}
+		if !best.ok || sol.value < best.value {
+			sol.cand = ci
+			best = sol
+		}
+	}
+	return best
+}
+
+// evalCandidate combines the children of one candidate PMC with its root
+// bag, returning the candidate's solution or ok=false when a child is
+// unsolvable or a constraint is violated (κ[I,X] = ∞).
+func (s *Solver) evalCandidate(bd *blockData, cand *candidate, cc *compiledConstraints, sols []blockSol) (blockSol, bool) {
+	var sol blockSol
+	for _, child := range cand.children {
+		if !sols[child].ok {
+			return sol, false
+		}
+	}
+	// Constraint coverage: bag-covered pairs of the subtree.
+	if cc != nil {
+		sol.coverage = make([]uint64, cc.words)
+		for _, child := range cand.children {
+			for w, bits := range sols[child].coverage {
+				sol.coverage[w] |= bits
+			}
+		}
+		cc.addBagPairs(sol.coverage, cand.omega)
+		if !cc.check(bd.span, bd.block.S, sol.coverage) {
+			return sol, false
+		}
+	}
+	if s.comb != nil {
+		sol.max = s.comb.BagMax(s.g, cand.omega)
+		sol.sum = s.comb.BagSum(s.g, cand.omega, bd.block.S)
+		for _, child := range cand.children {
+			if sols[child].max > sol.max {
+				sol.max = sols[child].max
+			}
+			sol.sum += sols[child].sum
+		}
+		sol.value = s.comb.Value(s.g, sol.max, sol.sum)
+	} else {
+		sol.bags = append(sol.bags, cand.omega)
+		for _, child := range cand.children {
+			sol.bags = append(sol.bags, sols[child].bags...)
+		}
+		r := s.g.Realization(bd.block.S, bd.block.C)
+		sol.value = s.c.Eval(r, sol.bags)
+	}
+	if math.IsInf(sol.value, 1) {
+		return sol, false
+	}
+	sol.ok = true
+	return sol, true
+}
+
+func (s *Solver) evalBags(g *graph.Graph, bags []vset.Set) float64 {
+	return s.c.Eval(g, bags)
+}
+
+// buildResult assembles the decomposition tree, triangulation, bags and
+// separators of the solved top block.
+func (s *Solver) buildResult(top int, sols []blockSol) *Result {
+	tree := td.New()
+	sepSeen := map[string]vset.Set{}
+	var build func(bi int) int
+	build = func(bi int) int {
+		bd := &s.blocks[bi]
+		cand := &bd.cands[sols[bi].cand]
+		node := tree.AddNode(cand.omega.Clone())
+		for _, child := range cand.children {
+			cn := build(child)
+			tree.AddEdge(node, cn)
+			si := s.blocks[child].block.S
+			if !si.IsEmpty() {
+				sepSeen[si.Key()] = si
+			}
+		}
+		return node
+	}
+	build(top)
+	h := s.g.Clone()
+	for _, b := range tree.Bags {
+		h.SaturateInPlace(b)
+	}
+	seps := make([]vset.Set, 0, len(sepSeen))
+	for _, sp := range sepSeen {
+		seps = append(seps, sp)
+	}
+	sort.Slice(seps, func(i, j int) bool { return seps[i].Compare(seps[j]) < 0 })
+	return &Result{
+		H:    h,
+		Tree: tree,
+		Bags: append([]vset.Set(nil), tree.Bags...),
+		Seps: seps,
+		Cost: s.evalBags(s.g, tree.Bags),
+	}
+}

@@ -1,0 +1,102 @@
+package cost
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/vset"
+)
+
+func TestQuickBagEquivalenceInvariance(t *testing.T) {
+	// Permuting or duplicating bags never changes a bag cost
+	// (Definition 3.2(1): invariance under bag equivalence).
+	costs := []Cost{Width{}, FillIn{}, LexWidthFill{}, TotalStateSpace{}}
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		g := gen.GNP(rng, n, 0.4)
+		var bags []vset.Set
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			b := vset.New(n)
+			for v := 0; v < n; v++ {
+				if rng.Intn(3) == 0 {
+					b.AddInPlace(v)
+				}
+			}
+			bags = append(bags, b)
+		}
+		shuffled := append([]vset.Set(nil), bags...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		duplicated := append(append([]vset.Set(nil), bags...), bags...)
+		for _, c := range costs {
+			base := c.Eval(g, bags)
+			if c.Eval(g, shuffled) != base {
+				return false
+			}
+			if c.Eval(g, duplicated) != base {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickWidthMonotoneUnderBagGrowth(t *testing.T) {
+	// Adding a vertex to a bag can only keep or increase width and
+	// fill — the monotonicity split-monotone costs build on.
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		g := gen.GNP(rng, n, 0.4)
+		b := vset.New(n)
+		for v := 0; v < n; v++ {
+			if rng.Intn(2) == 0 {
+				b.AddInPlace(v)
+			}
+		}
+		grown := b.Add(rng.Intn(n))
+		bags := []vset.Set{b}
+		grownBags := []vset.Set{grown}
+		if (Width{}).Eval(g, grownBags) < (Width{}).Eval(g, bags) {
+			return false
+		}
+		return (FillIn{}).Eval(g, grownBags) >= (FillIn{}).Eval(g, bags)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFillBagSumDecomposition(t *testing.T) {
+	// BagSum with an empty separator equals the one-bag Eval for every
+	// combinable cost — the anchor case of the DP's accounting.
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		g := gen.GNP(rng, n, 0.45)
+		b := vset.New(n)
+		for v := 0; v < n; v++ {
+			if rng.Intn(2) == 0 {
+				b.AddInPlace(v)
+			}
+		}
+		if b.IsEmpty() {
+			b.AddInPlace(0)
+		}
+		empty := vset.New(n)
+		for _, c := range []Combinable{Width{}, FillIn{}, LexWidthFill{}, TotalStateSpace{}} {
+			if c.Value(g, c.BagMax(g, b), c.BagSum(g, b, empty)) != c.Eval(g, []vset.Set{b}) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,175 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGNPBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := GNP(rng, 30, 0)
+	if g.NumEdges() != 0 {
+		t.Fatalf("p=0 produced edges")
+	}
+	g = GNP(rng, 30, 1)
+	if g.NumEdges() != 30*29/2 {
+		t.Fatalf("p=1 missing edges: %d", g.NumEdges())
+	}
+	g = GNP(rng, 40, 0.5)
+	if g.NumEdges() < 200 || g.NumEdges() > 580 {
+		t.Fatalf("p=0.5 suspicious edge count %d", g.NumEdges())
+	}
+}
+
+func TestConnectedGNP(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		g := ConnectedGNP(rng, 2+rng.Intn(25), 0.05+rng.Float64()*0.4)
+		if !g.IsConnected() {
+			t.Fatalf("ConnectedGNP returned a disconnected graph")
+		}
+	}
+}
+
+func TestGridAndCycleAndPath(t *testing.T) {
+	g := Grid(3, 4)
+	if g.NumVertices() != 12 || g.NumEdges() != 3*3+2*4 {
+		t.Fatalf("grid(3,4): n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	c := Cycle(7)
+	if c.NumEdges() != 7 {
+		t.Fatalf("C7 edges = %d", c.NumEdges())
+	}
+	p := Path(7)
+	if p.NumEdges() != 6 || !p.IsConnected() {
+		t.Fatalf("P7 wrong")
+	}
+	k := Complete(6)
+	if k.NumEdges() != 15 {
+		t.Fatalf("K6 edges = %d", k.NumEdges())
+	}
+}
+
+func TestPaperExampleShape(t *testing.T) {
+	g := PaperExample()
+	if g.NumVertices() != 6 || g.NumEdges() != 7 {
+		t.Fatalf("paper example: n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	if g.Name(0) != "u" || g.Name(2) != "v'" {
+		t.Fatalf("names: %s %s", g.Name(0), g.Name(2))
+	}
+}
+
+func TestMoralizedDAG(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(30)
+		g := MoralizedDAG(rng, n, 3)
+		if g.NumVertices() != n {
+			t.Fatalf("n mismatch")
+		}
+		// Moralization marries co-parents: verify the invariant on a
+		// fresh deterministic instance instead (structure is random),
+		// here just sanity-check the graph is simple and within bounds.
+		if g.NumEdges() > n*(n-1)/2 {
+			t.Fatalf("too many edges")
+		}
+	}
+	// maxParents=0 gives an edgeless graph.
+	if g := MoralizedDAG(rng, 10, 0); g.NumEdges() != 0 {
+		t.Fatalf("no-parent DAG has edges")
+	}
+}
+
+func TestCSPGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := CSPGrid(rng, 4, 4, 10)
+	base := Grid(4, 4)
+	if g.NumEdges() < base.NumEdges() {
+		t.Fatalf("CSPGrid lost grid edges")
+	}
+	if g.NumEdges() > base.NumEdges()+10 {
+		t.Fatalf("CSPGrid added too many edges")
+	}
+}
+
+func TestQueryGaifman(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, shape := range []QueryShape{ChainQuery, StarQuery, CycleQuery, SnowflakeQuery} {
+		g := QueryGaifman(rng, shape, 6, 3)
+		if g.NumVertices() == 0 || g.NumEdges() == 0 {
+			t.Fatalf("shape %d produced empty graph", shape)
+		}
+		// Each atom's variables form a clique; at most 6 atoms × C(3,2).
+		if g.NumEdges() > 6*3 {
+			t.Fatalf("too many edges: %d", g.NumEdges())
+		}
+	}
+	// Chain queries over 2-ary atoms are connected paths of cliques.
+	g := QueryGaifman(rng, ChainQuery, 5, 2)
+	if !g.IsConnected() {
+		t.Fatalf("chain query Gaifman graph disconnected")
+	}
+}
+
+func TestKTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := KTree(rng, 12, 3, 0)
+	if g.NumVertices() != 12 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	// A k-tree on n vertices has kn - k(k+1)/2 edges.
+	want := 3*12 - 3*4/2
+	if g.NumEdges() != want {
+		t.Fatalf("3-tree edges = %d, want %d", g.NumEdges(), want)
+	}
+	// Small n degenerates to a complete graph.
+	if KTree(rng, 3, 5, 0).NumEdges() != 3 {
+		t.Fatalf("KTree small-n broken")
+	}
+	// Edge removal removes edges.
+	g2 := KTree(rng, 12, 3, 5)
+	if g2.NumEdges() != want-5 {
+		t.Fatalf("partial k-tree edges = %d", g2.NumEdges())
+	}
+}
+
+func TestNamed(t *testing.T) {
+	for _, name := range NamedGraphs() {
+		g, err := Named(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.NumVertices() == 0 {
+			t.Fatalf("%s empty", name)
+		}
+	}
+	if _, err := Named("nope"); err == nil {
+		t.Fatalf("unknown name accepted")
+	}
+	pet, _ := Named("petersen")
+	if pet.NumVertices() != 10 || pet.NumEdges() != 15 {
+		t.Fatalf("petersen: n=%d m=%d", pet.NumVertices(), pet.NumEdges())
+	}
+	for v := 0; v < 10; v++ {
+		if pet.Degree(v) != 3 {
+			t.Fatalf("petersen not cubic at %d", v)
+		}
+	}
+	q4, _ := Named("queen4")
+	if q4.NumVertices() != 16 {
+		t.Fatalf("queen4 n = %d", q4.NumVertices())
+	}
+	// Every queen attacks its row/col/diagonals: vertex 0 attacks 3+3+3=9.
+	if q4.Degree(0) != 9 {
+		t.Fatalf("queen4 corner degree = %d", q4.Degree(0))
+	}
+}
+
+func TestDeterminismPerSeed(t *testing.T) {
+	a := GNP(rand.New(rand.NewSource(9)), 20, 0.3)
+	b := GNP(rand.New(rand.NewSource(9)), 20, 0.3)
+	if a.EdgeSetKey() != b.EdgeSetKey() {
+		t.Fatalf("same seed produced different graphs")
+	}
+}

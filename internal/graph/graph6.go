@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReadGraph6 parses one or more graphs in graph6 format (the compact
+// ASCII encoding used by nauty, the House of Graphs and the PACE
+// treewidth testbeds): N(n) followed by the upper triangle of the
+// adjacency matrix in column order, six bits per printable character.
+// One graph per line; blank lines and ">>graph6<<" headers are skipped.
+func ReadGraph6(r io.Reader) ([]*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var out []*Graph
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		text = strings.TrimPrefix(text, ">>graph6<<")
+		if text == "" {
+			continue
+		}
+		g, err := parseGraph6(text)
+		if err != nil {
+			return nil, fmt.Errorf("graph6 line %d: %v", line, err)
+		}
+		out = append(out, g)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteGraph6 writes g (over its full universe) as one graph6 line.
+func WriteGraph6(w io.Writer, g *Graph) error {
+	n := g.Universe()
+	var b []byte
+	switch {
+	case n <= 62:
+		b = append(b, byte(n+63))
+	case n <= 258047:
+		b = append(b, 126, byte((n>>12)&63)+63, byte((n>>6)&63)+63, byte(n&63)+63)
+	default:
+		return fmt.Errorf("graph6: %d vertices unsupported", n)
+	}
+	var bits []bool
+	for v := 1; v < n; v++ {
+		for u := 0; u < v; u++ {
+			bits = append(bits, g.HasEdge(u, v))
+		}
+	}
+	for i := 0; i < len(bits); i += 6 {
+		var c byte
+		for j := 0; j < 6; j++ {
+			c <<= 1
+			if i+j < len(bits) && bits[i+j] {
+				c |= 1
+			}
+		}
+		b = append(b, c+63)
+	}
+	b = append(b, '\n')
+	_, err := w.Write(b)
+	return err
+}
+
+func parseGraph6(s string) (*Graph, error) {
+	data := []byte(s)
+	for _, c := range data {
+		if c < 63 || c > 126 {
+			return nil, fmt.Errorf("invalid character %q", c)
+		}
+	}
+	n := 0
+	switch {
+	case len(data) == 0:
+		return nil, fmt.Errorf("empty encoding")
+	case data[0] != 126:
+		n = int(data[0] - 63)
+		data = data[1:]
+	case len(data) >= 4 && data[1] != 126:
+		n = int(data[1]-63)<<12 | int(data[2]-63)<<6 | int(data[3]-63)
+		data = data[4:]
+	default:
+		return nil, fmt.Errorf("unsupported large-n encoding")
+	}
+	g := New(n)
+	need := n * (n - 1) / 2
+	if len(data)*6 < need {
+		return nil, fmt.Errorf("truncated: need %d bits, have %d", need, len(data)*6)
+	}
+	bit := 0
+	for v := 1; v < n; v++ {
+		for u := 0; u < v; u++ {
+			c := data[bit/6] - 63
+			if c&(1<<uint(5-bit%6)) != 0 {
+				g.AddEdge(u, v)
+			}
+			bit++
+		}
+	}
+	return g, nil
+}

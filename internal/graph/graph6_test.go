@@ -1,0 +1,98 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestGraph6KnownEncodings(t *testing.T) {
+	// "D?{" is a standard example: 5 vertices. More robust: round-trip
+	// canonical small graphs and check a hand-computed case.
+	// K3 = "Bw": N(3)='B'(66→3); bits for pairs (0,1),(0,2),(1,2) = 111
+	// → 111000 = 56 + 63 = 'w'.
+	gs, err := ReadGraph6(strings.NewReader("Bw\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 1 {
+		t.Fatalf("parsed %d graphs", len(gs))
+	}
+	g := gs[0]
+	if g.Universe() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("K3 parse: n=%d m=%d", g.Universe(), g.NumEdges())
+	}
+	// Empty graph on 5 vertices: "D????"... encoding: n=5 → 'D', 10 bits
+	// of zeros → two chars '?' '?'.
+	gs, err = ReadGraph6(strings.NewReader("D??\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs[0].Universe() != 5 || gs[0].NumEdges() != 0 {
+		t.Fatalf("empty-5 parse: %v", gs[0])
+	}
+}
+
+func TestGraph6RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(40)
+		g := New(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(3) == 0 {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteGraph6(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadGraph6(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(back) != 1 || back[0].EdgeSetKey() != g.EdgeSetKey() {
+			t.Fatalf("round trip changed graph (n=%d)", n)
+		}
+	}
+}
+
+func TestGraph6MultipleAndHeader(t *testing.T) {
+	src := ">>graph6<<Bw\n\nD??\n"
+	gs, err := ReadGraph6(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 2 {
+		t.Fatalf("parsed %d graphs, want 2", len(gs))
+	}
+}
+
+func TestGraph6Malformed(t *testing.T) {
+	for _, bad := range []string{"B", "\x01w\n", "~~????\n"} {
+		if _, err := ReadGraph6(strings.NewReader(bad)); err == nil {
+			t.Errorf("malformed %q accepted", bad)
+		}
+	}
+}
+
+func TestGraph6LargeN(t *testing.T) {
+	// The 4-byte N(n) form for n > 62.
+	g := New(70)
+	g.AddEdge(0, 69)
+	g.AddEdge(30, 31)
+	var buf bytes.Buffer
+	if err := WriteGraph6(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGraph6(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[0].Universe() != 70 || back[0].EdgeSetKey() != g.EdgeSetKey() {
+		t.Fatalf("large-n round trip failed")
+	}
+}

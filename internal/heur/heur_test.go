@@ -1,0 +1,110 @@
+package heur
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/chordal"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/gen"
+	"repro/internal/triang"
+)
+
+func TestOrderIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		g := gen.GNP(rng, 1+rng.Intn(20), 0.3)
+		for _, s := range []Strategy{MinDegree, MinFill} {
+			order := Order(g, s)
+			if len(order) != g.NumVertices() {
+				t.Fatalf("%v: order length %d", s, len(order))
+			}
+			seen := map[int]bool{}
+			for _, v := range order {
+				if seen[v] {
+					t.Fatalf("%v: duplicate %d", s, v)
+				}
+				seen[v] = true
+			}
+		}
+	}
+}
+
+func TestTriangulateIsChordal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		g := gen.GNP(rng, 2+rng.Intn(15), 0.35)
+		for _, s := range []Strategy{MinDegree, MinFill} {
+			h := Triangulate(g, s)
+			if !chordal.IsTriangulationOf(h, g) {
+				t.Fatalf("%v produced a non-triangulation", s)
+			}
+		}
+	}
+}
+
+func TestChordalIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := gen.KTree(rng, 12, 2, 0)
+	for _, s := range []Strategy{MinDegree, MinFill} {
+		if Triangulate(g, s).EdgeSetKey() != g.EdgeSetKey() {
+			t.Fatalf("%v added fill to a chordal graph", s)
+		}
+	}
+}
+
+func TestHeuristicWidthNeverBeatsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 25; trial++ {
+		g := gen.ConnectedGNP(rng, 4+rng.Intn(6), 0.4)
+		exact, err := core.NewSolver(g, cost.Width{}).MinTriang(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range []Strategy{MinDegree, MinFill} {
+			w := Width(g, Order(g, s))
+			if float64(w) < exact.Cost {
+				t.Fatalf("%v width %d beats exact optimum %v", s, w, exact.Cost)
+			}
+		}
+	}
+}
+
+func TestMinimalizeHeuristicOrder(t *testing.T) {
+	// LB-Triang under a heuristic order yields a *minimal* triangulation
+	// that is a subgraph of the heuristic one — the standard two-step
+	// pipeline (heuristic order, then minimalization).
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		g := gen.ConnectedGNP(rng, 5+rng.Intn(10), 0.3)
+		order := Order(g, MinFill)
+		greedy := Triangulate(g, MinFill)
+		minimal := triang.LBTriang(g, order)
+		if !chordal.IsTriangulationOf(minimal, g) {
+			t.Fatalf("minimalization broke triangulation")
+		}
+		if minimal.NumEdges() > greedy.NumEdges() {
+			t.Fatalf("minimalized has more edges (%d) than greedy (%d)",
+				minimal.NumEdges(), greedy.NumEdges())
+		}
+	}
+}
+
+func TestWidthOnKnownGraphs(t *testing.T) {
+	// Grid 3xN has treewidth 3; min-fill finds it on small grids.
+	g := gen.Grid(3, 4)
+	if w := Width(g, Order(g, MinFill)); w != 3 {
+		t.Fatalf("min-fill width on 3x4 grid = %d, want 3", w)
+	}
+	// Cycle: both heuristics achieve width 2.
+	c := gen.Cycle(8)
+	for _, s := range []Strategy{MinDegree, MinFill} {
+		if w := Width(c, Order(c, s)); w != 2 {
+			t.Fatalf("%v width on C8 = %d, want 2", s, w)
+		}
+	}
+	if MinDegree.String() == MinFill.String() {
+		t.Fatalf("strategy names collide")
+	}
+}

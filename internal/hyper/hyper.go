@@ -1,0 +1,186 @@
+// Package hyper provides the hypergraph substrate behind the paper's
+// database motivation: hypergraphs with primal (Gaifman) graphs, exact
+// integral edge covers of bags (hypertree-width bag cost), and exact
+// fractional edge covers via linear programming (fractional hypertree
+// width, Grohe–Marx). Combined with cost.WeightedWidth these realize the
+// generalized-hypertree-width and fractional-hypertree-width costs that
+// Section 3 lists as split-monotone bag costs.
+package hyper
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/simplex"
+	"repro/internal/vset"
+)
+
+// Hypergraph is a set of hyperedges over vertices {0..n-1}.
+type Hypergraph struct {
+	n     int
+	edges []vset.Set
+}
+
+// New returns a hypergraph over n vertices with no hyperedges.
+func New(n int) *Hypergraph {
+	return &Hypergraph{n: n}
+}
+
+// NumVertices returns the universe size.
+func (h *Hypergraph) NumVertices() int { return h.n }
+
+// Edges returns the hyperedges. Callers must not mutate them.
+func (h *Hypergraph) Edges() []vset.Set { return h.edges }
+
+// AddEdge inserts a hyperedge over the given vertices.
+func (h *Hypergraph) AddEdge(vertices ...int) {
+	h.edges = append(h.edges, vset.Of(h.n, vertices...))
+}
+
+// AddEdgeSet inserts a hyperedge given as a set.
+func (h *Hypergraph) AddEdgeSet(e vset.Set) {
+	if e.Universe() != h.n {
+		panic("hyper: universe mismatch")
+	}
+	h.edges = append(h.edges, e)
+}
+
+// Primal returns the primal (Gaifman) graph: vertices of the hypergraph,
+// with two vertices adjacent iff they co-occur in a hyperedge. This is the
+// graph whose tree decompositions underlie generalized hypertree
+// decompositions.
+func (h *Hypergraph) Primal() *graph.Graph {
+	g := graph.New(h.n)
+	for _, e := range h.edges {
+		vs := e.Slice()
+		for i := 0; i < len(vs); i++ {
+			for j := i + 1; j < len(vs); j++ {
+				if !g.HasEdge(vs[i], vs[j]) {
+					g.AddEdge(vs[i], vs[j])
+				}
+			}
+		}
+	}
+	return g
+}
+
+// CoverNumber returns the minimum number of hyperedges whose union covers
+// bag, or +Inf when no cover exists. Exact branch-and-bound search; bags
+// are small (they are cliques of decompositions), so this is fast in
+// practice.
+func (h *Hypergraph) CoverNumber(bag vset.Set) float64 {
+	if bag.IsEmpty() {
+		return 0
+	}
+	// Only edges intersecting the bag are useful; dedupe by their trace.
+	var useful []vset.Set
+	seen := map[string]bool{}
+	for _, e := range h.edges {
+		tr := e.Intersect(bag)
+		if tr.IsEmpty() || seen[tr.Key()] {
+			continue
+		}
+		seen[tr.Key()] = true
+		useful = append(useful, tr)
+	}
+	best := math.Inf(1)
+	var rec func(uncovered vset.Set, used int)
+	rec = func(uncovered vset.Set, used int) {
+		if float64(used) >= best {
+			return
+		}
+		if uncovered.IsEmpty() {
+			best = float64(used)
+			return
+		}
+		// Branch on an uncovered vertex: some edge must contain it.
+		v := uncovered.First()
+		for _, tr := range useful {
+			if tr.Contains(v) {
+				rec(uncovered.Diff(tr), used+1)
+			}
+		}
+	}
+	rec(bag.Clone(), 0)
+	return best
+}
+
+// FractionalCoverNumber returns the optimal fractional edge cover weight
+// of bag: min Σ x_e subject to Σ_{e ∋ v} x_e ≥ 1 for every v in the bag,
+// x ≥ 0. Solved exactly with the simplex method. Returns +Inf when some
+// bag vertex appears in no hyperedge.
+func (h *Hypergraph) FractionalCoverNumber(bag vset.Set) float64 {
+	if bag.IsEmpty() {
+		return 0
+	}
+	var useful []vset.Set
+	for _, e := range h.edges {
+		if e.Intersects(bag) {
+			useful = append(useful, e)
+		}
+	}
+	verts := bag.Slice()
+	for _, v := range verts {
+		covered := false
+		for _, e := range useful {
+			if e.Contains(v) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return math.Inf(1)
+		}
+	}
+	c := make([]float64, len(useful))
+	for i := range c {
+		c[i] = 1
+	}
+	a := make([][]float64, len(verts))
+	b := make([]float64, len(verts))
+	for i, v := range verts {
+		a[i] = make([]float64, len(useful))
+		for j, e := range useful {
+			if e.Contains(v) {
+				a[i][j] = 1
+			}
+		}
+		b[i] = 1
+	}
+	val, _, status, err := simplex.Minimize(c, a, b)
+	if err != nil || status != simplex.Optimal {
+		return math.Inf(1)
+	}
+	return val
+}
+
+// HypertreeWidthCost returns the split-monotone bag cost whose value is
+// the generalized hypertree width: the maximum over bags of the minimum
+// integral edge cover.
+func (h *Hypergraph) HypertreeWidthCost() cost.Cost {
+	return cost.WeightedWidth{
+		CostName: "hypertree-width",
+		BagWeight: func(_ *graph.Graph, bag vset.Set) float64 {
+			return h.CoverNumber(bag)
+		},
+	}
+}
+
+// FractionalHypertreeWidthCost returns the split-monotone bag cost whose
+// value is the fractional hypertree width: the maximum over bags of the
+// optimal fractional edge cover.
+func (h *Hypergraph) FractionalHypertreeWidthCost() cost.Cost {
+	return cost.WeightedWidth{
+		CostName: "fractional-htw",
+		BagWeight: func(_ *graph.Graph, bag vset.Set) float64 {
+			return h.FractionalCoverNumber(bag)
+		},
+	}
+}
+
+// String renders a short description.
+func (h *Hypergraph) String() string {
+	return fmt.Sprintf("hypergraph(n=%d, %d hyperedges)", h.n, len(h.edges))
+}

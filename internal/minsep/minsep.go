@@ -1,0 +1,174 @@
+// Package minsep enumerates the minimal separators of a graph with the
+// Berry–Bordat–Cogis algorithm and provides the crossing/parallel relation
+// of Parra–Scheffler that underpins the whole triangulation theory.
+package minsep
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/vset"
+)
+
+// All returns MinSep(G), the minimal separators of g, in canonical order.
+// If g is disconnected the empty separator is included (it is the unique
+// minimal (u,v)-separator for u, v in different components).
+//
+// The algorithm is Berry, Bordat and Cogis (WG 1999): seed with the
+// neighborhoods of the components of G \ N[v] for every vertex v, then
+// close under the expansion step S ↦ N(C) for components C of
+// G \ (S ∪ N(x)), x ∈ S.
+func All(g *graph.Graph) []vset.Set {
+	out, _ := all(g, time.Time{})
+	return out
+}
+
+// AllWithDeadline is All with a wall-clock deadline: it returns ok=false
+// (and a partial list) when the deadline passes before the closure
+// completes. A zero deadline disables the check. This powers the paper's
+// tractability experiments (Figure 5), which classify graphs by whether
+// the separators can be generated within a time budget.
+func AllWithDeadline(g *graph.Graph, deadline time.Time) ([]vset.Set, bool) {
+	return all(g, deadline)
+}
+
+func all(g *graph.Graph, deadline time.Time) ([]vset.Set, bool) {
+	seen := map[string]vset.Set{}
+	var queue []vset.Set
+	add := func(s vset.Set) {
+		k := s.Key()
+		if _, ok := seen[k]; !ok {
+			seen[k] = s
+			queue = append(queue, s)
+		}
+	}
+	expired := func() bool {
+		return !deadline.IsZero() && time.Now().After(deadline)
+	}
+	g.Vertices().ForEach(func(v int) bool {
+		for _, c := range g.ComponentsAvoiding(g.ClosedNeighborhood(v)) {
+			add(g.NeighborsOfSet(c))
+		}
+		return true
+	})
+	for len(queue) > 0 {
+		if expired() {
+			return collect(g, seen), false
+		}
+		s := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		s.ForEach(func(x int) bool {
+			avoid := s.Union(g.Neighbors(x))
+			avoid.AddInPlace(x)
+			for _, c := range g.ComponentsAvoiding(avoid) {
+				add(g.NeighborsOfSet(c))
+			}
+			return true
+		})
+	}
+	return collect(g, seen), true
+}
+
+func collect(g *graph.Graph, seen map[string]vset.Set) []vset.Set {
+	out := make([]vset.Set, 0, len(seen))
+	for _, s := range seen {
+		if s.IsEmpty() && g.IsConnected() {
+			continue
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// AtMost returns the minimal separators of g of size at most k, by
+// filtering All. This preserves the semantics MinTriangB needs; the
+// fixed-parameter pruning the paper alludes to is a complexity-only
+// optimization and is intentionally not replicated (see DESIGN.md).
+func AtMost(g *graph.Graph, k int) []vset.Set {
+	var out []vset.Set
+	for _, s := range All(g) {
+		if s.Len() <= k {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Crosses reports whether s crosses t in g: some two vertices of t are
+// separated by s, i.e. t meets at least two components of G \ s.
+// The relation is symmetric (Parra–Scheffler). Separators are parallel
+// when they do not cross.
+func Crosses(g *graph.Graph, s, t vset.Set) bool {
+	rest := t.Diff(s)
+	if rest.IsEmpty() {
+		return false
+	}
+	touched := 0
+	for _, c := range g.ComponentsAvoiding(s) {
+		if c.Intersects(rest) {
+			touched++
+			if touched >= 2 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Parallel reports whether s and t are parallel (non-crossing) in g.
+func Parallel(g *graph.Graph, s, t vset.Set) bool {
+	return !Crosses(g, s, t)
+}
+
+// PairwiseParallel reports whether every two members of seps are parallel.
+func PairwiseParallel(g *graph.Graph, seps []vset.Set) bool {
+	for i := range seps {
+		for j := i + 1; j < len(seps); j++ {
+			if Crosses(g, seps[i], seps[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsMaximalParallel reports whether seps is a maximal set of pairwise
+// parallel minimal separators with respect to the universe all.
+func IsMaximalParallel(g *graph.Graph, seps, all []vset.Set) bool {
+	if !PairwiseParallel(g, seps) {
+		return false
+	}
+	inSet := map[string]bool{}
+	for _, s := range seps {
+		inSet[s.Key()] = true
+	}
+	for _, t := range all {
+		if inSet[t.Key()] {
+			continue
+		}
+		crossesSome := false
+		for _, s := range seps {
+			if Crosses(g, s, t) {
+				crossesSome = true
+				break
+			}
+		}
+		if !crossesSome {
+			return false
+		}
+	}
+	return true
+}
+
+// Saturate returns g with every separator in seps saturated. When seps is
+// a maximal set of pairwise-parallel minimal separators, the result is a
+// minimal triangulation of g (Theorem 2.5, Parra–Scheffler).
+func Saturate(g *graph.Graph, seps []vset.Set) *graph.Graph {
+	h := g.Clone()
+	for _, s := range seps {
+		h.SaturateInPlace(s)
+	}
+	return h
+}

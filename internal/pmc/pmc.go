@@ -1,0 +1,238 @@
+// Package pmc implements potential maximal cliques: the Bouchitté–Todinca
+// membership test and their vertex-incremental enumeration of PMC(G)
+// (Bouchitté & Todinca, "Listing all potential maximal cliques of a graph",
+// TCS 2002). PMCs are exactly the bags of proper tree decompositions, i.e.
+// the maximal cliques of minimal triangulations.
+package pmc
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/minsep"
+	"repro/internal/vset"
+)
+
+// IsPMC reports whether Ω is a potential maximal clique of g, using the
+// Bouchitté–Todinca characterization: Ω is a PMC iff (a) G \ Ω has no full
+// component (no component C with N(C) = Ω), and (b) every pair of
+// non-adjacent vertices of Ω is "covered" by the neighborhood of some
+// component of G \ Ω (so saturating those neighborhoods completes Ω).
+func IsPMC(g *graph.Graph, omega vset.Set) bool {
+	if omega.IsEmpty() || !omega.SubsetOf(g.Vertices()) {
+		return false
+	}
+	comps := g.ComponentsAvoiding(omega)
+	neighborhoods := make([]vset.Set, len(comps))
+	for i, c := range comps {
+		s := g.NeighborsOfSet(c)
+		if s.Equal(omega) {
+			return false // full component
+		}
+		neighborhoods[i] = s
+	}
+	// Every non-adjacent pair inside Ω must lie together in some N(C).
+	vs := omega.Slice()
+	for i := 0; i < len(vs); i++ {
+		for j := i + 1; j < len(vs); j++ {
+			u, v := vs[i], vs[j]
+			if g.HasEdge(u, v) {
+				continue
+			}
+			covered := false
+			for _, s := range neighborhoods {
+				if s.Contains(u) && s.Contains(v) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// All enumerates PMC(G) with the vertex-incremental Bouchitté–Todinca
+// algorithm: processing active vertices a1..an, the PMCs of
+// G_{i+1} = G[{a1..a_{i+1}}] are found among
+//
+//	(1) the PMCs of G_i,
+//	(2) those PMCs extended with a_{i+1},
+//	(3) S ∪ {a_{i+1}} for minimal separators S of G_{i+1}, and
+//	(4) S ∪ (T ∩ C) for minimal separators S of G_{i+1} not containing
+//	    a_{i+1} that are not separators of G_i, minimal separators T of
+//	    G_i, and components C of G_{i+1} \ S,
+//
+// each candidate filtered with IsPMC. The result is in canonical order.
+//
+// The running time is polynomial in |MinSep(G)| (the poly-MS assumption of
+// the paper); completeness is property-tested against the brute-force
+// oracle.
+func All(g *graph.Graph) []vset.Set {
+	out, _ := enumerate(g, -1, time.Time{})
+	return out
+}
+
+// ErrDeadline reports that a deadline-bounded enumeration ran out of time.
+var ErrDeadline = errors.New("pmc: deadline exceeded")
+
+// AllWithDeadline is All with a wall-clock deadline; it returns
+// ErrDeadline when the budget runs out (Figure 5 tractability runs).
+func AllWithDeadline(g *graph.Graph, deadline time.Time) ([]vset.Set, error) {
+	out, ok := enumerate(g, -1, deadline)
+	if !ok {
+		return nil, ErrDeadline
+	}
+	return out, nil
+}
+
+// AtMost enumerates the PMCs of g of size at most k (the bags allowed by
+// MinTriangB for width bound k-1). Candidates above the size bound are
+// pruned during enumeration, but the separator lists are still complete
+// (see minsep.AtMost for the discussion).
+func AtMost(g *graph.Graph, k int) []vset.Set {
+	out, _ := enumerate(g, k, time.Time{})
+	return out
+}
+
+func enumerate(g *graph.Graph, maxSize int, deadline time.Time) ([]vset.Set, bool) {
+	verts := g.Vertices().Slice()
+	n := g.Universe()
+	current := map[string]vset.Set{}
+	var prevSeps []vset.Set
+	prevSepKeys := map[string]bool{}
+	prefix := vset.New(n)
+	for i, a := range verts {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return nil, false
+		}
+		prefix.AddInPlace(a)
+		gi := g.InducedSubgraph(prefix)
+		next := map[string]vset.Set{}
+		consider := func(omega vset.Set) {
+			if maxSize >= 0 && omega.Len() > maxSize {
+				return
+			}
+			k := omega.Key()
+			if _, ok := next[k]; ok {
+				return
+			}
+			if IsPMC(gi, omega) {
+				next[k] = omega
+			}
+		}
+		if i == 0 {
+			consider(vset.Of(n, a))
+			current = next
+			prevSeps, _ = minsep.AllWithDeadline(gi, deadline)
+			for _, s := range prevSeps {
+				prevSepKeys[s.Key()] = true
+			}
+			continue
+		}
+		seps, sepsOK := minsep.AllWithDeadline(gi, deadline)
+		if !sepsOK {
+			return nil, false
+		}
+		for _, omega := range current {
+			consider(omega)
+			consider(omega.Add(a))
+		}
+		for _, s := range seps {
+			if !s.Contains(a) {
+				consider(s.Add(a))
+				if !prevSepKeys[s.Key()] {
+					// Case (4): new separators combine with old ones.
+					for _, c := range gi.ComponentsAvoiding(s) {
+						for _, t := range prevSeps {
+							if t.Intersects(c) {
+								consider(s.Union(t.Intersect(c)))
+							}
+						}
+					}
+				}
+			}
+		}
+		current = next
+		prevSeps = seps
+		prevSepKeys = make(map[string]bool, len(seps))
+		for _, s := range seps {
+			prevSepKeys[s.Key()] = true
+		}
+	}
+	out := make([]vset.Set, 0, len(current))
+	for _, omega := range current {
+		out = append(out, omega)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out, true
+}
+
+// Associated returns the minimal separators MinSep_G(Ω) and blocks
+// Blck_G(Ω) associated with the PMC Ω in g: for each component C of
+// G \ Ω, the pair (N(C), C). Each N(C) is a minimal separator of g and
+// (N(C), C) is a full block (Section 5.1 of the paper).
+func Associated(g *graph.Graph, omega vset.Set) (seps []vset.Set, blocks []Block) {
+	seen := map[string]bool{}
+	for _, c := range g.ComponentsAvoiding(omega) {
+		s := g.NeighborsOfSet(c)
+		blocks = append(blocks, Block{S: s, C: c})
+		if !seen[s.Key()] {
+			seen[s.Key()] = true
+			seps = append(seps, s)
+		}
+	}
+	return seps, blocks
+}
+
+// Block is a block (S, C) of a graph: a minimal separator S together with
+// an S-component C. The block is identified with the vertex set S ∪ C.
+type Block struct {
+	S vset.Set
+	C vset.Set
+}
+
+// Vertices returns S ∪ C.
+func (b Block) Vertices() vset.Set { return b.S.Union(b.C) }
+
+// Key returns a canonical map key for the block.
+func (b Block) Key() string { return b.S.Key() + "|" + b.C.Key() }
+
+// IsFull reports whether the block is full in g: every vertex of S has a
+// neighbor in C.
+func (b Block) IsFull(g *graph.Graph) bool {
+	return g.NeighborsOfSet(b.C).Equal(b.S)
+}
+
+// Realization returns R(S, C) = G[S ∪ C] ∪ K_S.
+func (b Block) Realization(g *graph.Graph) *graph.Graph {
+	return g.Realization(b.S, b.C)
+}
+
+// FullBlocks returns every full block (S, C) of g over the given minimal
+// separators, sorted by increasing |S ∪ C| — the processing order of the
+// MinTriang dynamic program (Figure 3, line 3).
+func FullBlocks(g *graph.Graph, seps []vset.Set) []Block {
+	var out []Block
+	for _, s := range seps {
+		for _, c := range g.ComponentsAvoiding(s) {
+			b := Block{S: s, C: c}
+			if b.IsFull(g) {
+				out = append(out, b)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si := out[i].S.Len() + out[i].C.Len()
+		sj := out[j].S.Len() + out[j].C.Len()
+		if si != sj {
+			return si < sj
+		}
+		return out[i].Key() < out[j].Key()
+	})
+	return out
+}

@@ -1,0 +1,226 @@
+// Package simplex implements a small dense-simplex solver for linear
+// programs in the form
+//
+//	minimize    cᵀx
+//	subject to  Ax ≥ b, x ≥ 0,
+//
+// which is exactly the shape of the fractional edge-cover LPs behind
+// fractional hypertree width (Grohe–Marx). The implementation is the
+// standard two-phase primal simplex on a dense tableau with Bland's rule,
+// which cannot cycle; problem sizes here are tiny (bags and hyperedges),
+// so numerical sophistication is deliberately traded for clarity.
+package simplex
+
+import (
+	"errors"
+	"math"
+)
+
+// Status describes the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+// ErrBadShape reports inconsistent matrix dimensions.
+var ErrBadShape = errors.New("simplex: inconsistent dimensions")
+
+const eps = 1e-9
+
+// Minimize solves min cᵀx s.t. Ax ≥ b, x ≥ 0 and returns the optimal
+// value, an optimal x, and a status. A has one row per constraint.
+func Minimize(c []float64, a [][]float64, b []float64) (float64, []float64, Status, error) {
+	m, n := len(a), len(c)
+	if len(b) != m {
+		return 0, nil, Infeasible, ErrBadShape
+	}
+	for _, row := range a {
+		if len(row) != n {
+			return 0, nil, Infeasible, ErrBadShape
+		}
+	}
+	// Convert Ax ≥ b into equalities with surplus variables s ≥ 0:
+	// Ax - s = b. Rows with negative b are negated first so b ≥ 0,
+	// then artificial variables give a starting basis for phase one.
+	total := n + m // structural + surplus
+	rows := make([][]float64, m)
+	rhs := make([]float64, m)
+	for i := 0; i < m; i++ {
+		rows[i] = make([]float64, total)
+		copy(rows[i], a[i])
+		rows[i][n+i] = -1
+		rhs[i] = b[i]
+		if rhs[i] < 0 {
+			for j := range rows[i] {
+				rows[i][j] = -rows[i][j]
+			}
+			rhs[i] = -rhs[i]
+		}
+	}
+	t := newTableau(rows, rhs, total)
+
+	// Phase one: minimize the sum of artificial variables.
+	phase1 := make([]float64, total+m)
+	for j := total; j < total+m; j++ {
+		phase1[j] = 1
+	}
+	t.setObjective(phase1)
+	if status := t.iterate(); status == Unbounded {
+		return 0, nil, Infeasible, nil // cannot happen: phase one is bounded below by 0
+	}
+	if t.objectiveValue() > eps {
+		return 0, nil, Infeasible, nil
+	}
+	t.driveOutArtificials()
+	t.active = total // phase two: artificial columns may not re-enter
+
+	// Phase two: the real objective over structural + surplus variables.
+	phase2 := make([]float64, total+m)
+	copy(phase2, c)
+	t.setObjective(phase2)
+	if status := t.iterate(); status == Unbounded {
+		return 0, nil, Unbounded, nil
+	}
+	x := make([]float64, n)
+	sol := t.solution()
+	copy(x, sol[:n])
+	return t.objectiveValue(), x, Optimal, nil
+}
+
+// tableau is a dense simplex tableau with an explicit artificial block.
+type tableau struct {
+	m, vars int // constraints, non-artificial variables
+	active  int // columns eligible to enter the basis
+	a       [][]float64
+	rhs     []float64
+	obj     []float64
+	objRHS  float64
+	basis   []int
+}
+
+func newTableau(rows [][]float64, rhs []float64, vars int) *tableau {
+	m := len(rows)
+	t := &tableau{m: m, vars: vars, active: vars + m, rhs: rhs, basis: make([]int, m)}
+	t.a = make([][]float64, m)
+	for i := range rows {
+		t.a[i] = make([]float64, vars+m)
+		copy(t.a[i], rows[i])
+		t.a[i][vars+i] = 1 // artificial
+		t.basis[i] = vars + i
+	}
+	return t
+}
+
+// setObjective installs a fresh objective row and prices out the basis.
+func (t *tableau) setObjective(c []float64) {
+	t.obj = append([]float64(nil), c...)
+	t.objRHS = 0
+	for i, bi := range t.basis {
+		if t.obj[bi] != 0 {
+			t.pivotObjective(i, bi)
+		}
+	}
+}
+
+func (t *tableau) pivotObjective(row, col int) {
+	factor := t.obj[col]
+	for j := range t.obj {
+		t.obj[j] -= factor * t.a[row][j]
+	}
+	t.objRHS -= factor * t.rhs[row]
+}
+
+// iterate runs simplex pivots with Bland's anti-cycling rule until
+// optimality or unboundedness.
+func (t *tableau) iterate() Status {
+	for {
+		// Entering variable: smallest eligible index with negative
+		// reduced cost (Bland's rule). Artificial columns are eligible
+		// only during phase one.
+		col := -1
+		for j := 0; j < t.active; j++ {
+			if t.obj[j] < -eps {
+				col = j
+				break
+			}
+		}
+		if col == -1 {
+			return Optimal
+		}
+		// Leaving variable: minimum ratio, ties by smallest basis index.
+		row := -1
+		best := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			if t.a[i][col] > eps {
+				ratio := t.rhs[i] / t.a[i][col]
+				if ratio < best-eps || (ratio < best+eps && (row == -1 || t.basis[i] < t.basis[row])) {
+					best = ratio
+					row = i
+				}
+			}
+		}
+		if row == -1 {
+			return Unbounded
+		}
+		t.pivot(row, col)
+	}
+}
+
+func (t *tableau) pivot(row, col int) {
+	p := t.a[row][col]
+	for j := range t.a[row] {
+		t.a[row][j] /= p
+	}
+	t.rhs[row] /= p
+	for i := 0; i < t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := range t.a[i] {
+			t.a[i][j] -= f * t.a[row][j]
+		}
+		t.rhs[i] -= f * t.rhs[row]
+	}
+	f := t.obj[col]
+	if f != 0 {
+		for j := range t.obj {
+			t.obj[j] -= f * t.a[row][j]
+		}
+		t.objRHS -= f * t.rhs[row]
+	}
+	t.basis[row] = col
+}
+
+// driveOutArtificials pivots any artificial variable still basic (at zero
+// level after a successful phase one) out of the basis where possible.
+func (t *tableau) driveOutArtificials() {
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.vars {
+			continue
+		}
+		for j := 0; j < t.vars; j++ {
+			if math.Abs(t.a[i][j]) > eps {
+				t.pivot(i, j)
+				break
+			}
+		}
+	}
+}
+
+func (t *tableau) objectiveValue() float64 { return -t.objRHS }
+
+func (t *tableau) solution() []float64 {
+	x := make([]float64, t.vars+t.m)
+	for i, bi := range t.basis {
+		x[bi] = t.rhs[i]
+	}
+	return x
+}

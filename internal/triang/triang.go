@@ -1,0 +1,120 @@
+// Package triang provides black-box minimal triangulators: LB-Triang
+// (Berry; Berry, Bordat, Heggernes, Simonet, Villanger 2006 — the
+// triangulator the CKK baseline uses, chosen by the paper for its low
+// widths and fills) and MCS-M (Berry, Blair, Heggernes, Peyton 2004).
+// Both produce a minimal triangulation from an arbitrary vertex ordering.
+package triang
+
+import (
+	"repro/internal/graph"
+	"repro/internal/vset"
+)
+
+// LBTriang returns a minimal triangulation of g computed by the LB-Triang
+// algorithm under the given vertex order (which must enumerate exactly the
+// active vertices; pass nil for ascending order).
+//
+// For each vertex v in turn, the minimal separators of the *current*
+// triangulation that are contained in N_H[v] — the neighborhoods of the
+// components of H \ N_H[v] — are saturated. After all vertices are
+// processed, H is a minimal triangulation of g.
+func LBTriang(g *graph.Graph, order []int) *graph.Graph {
+	if order == nil {
+		order = g.Vertices().Slice()
+	}
+	h := g.Clone()
+	for _, v := range order {
+		closed := h.ClosedNeighborhood(v)
+		for _, c := range h.ComponentsAvoiding(closed) {
+			h.SaturateInPlace(h.NeighborsOfSet(c))
+		}
+	}
+	return h
+}
+
+// MCSM returns a minimal triangulation of g computed by MCS-M, a
+// maximum-cardinality-search variant: at each step an unnumbered vertex v
+// of maximum weight is chosen, and a fill edge {u, v} is added for every
+// unnumbered u reachable from v through unnumbered vertices of weight
+// strictly smaller than w(u); those u get their weight bumped.
+// Ties are broken by smallest vertex number, making the result
+// deterministic.
+func MCSM(g *graph.Graph) *graph.Graph {
+	n := g.Universe()
+	h := g.Clone()
+	weight := make([]int, n)
+	numbered := vset.New(n)
+	remaining := g.NumVertices()
+	for step := 0; step < remaining; step++ {
+		// Pick unnumbered vertex of maximum weight.
+		best, bestW := -1, -1
+		g.Vertices().ForEach(func(v int) bool {
+			if !numbered.Contains(v) && weight[v] > bestW {
+				best, bestW = v, weight[v]
+			}
+			return true
+		})
+		v := best
+		// For each unnumbered u, compute the smallest achievable
+		// "maximum internal weight" over v→u paths through unnumbered
+		// vertices; u is reached if that value < w(u). A Dijkstra-like
+		// relaxation with max-composition computes it.
+		const inf = int(^uint(0) >> 1)
+		reachCost := make(map[int]int)
+		done := map[int]bool{}
+		g.Vertices().ForEach(func(u int) bool {
+			if !numbered.Contains(u) && u != v {
+				reachCost[u] = inf
+			}
+			return true
+		})
+		g.Neighbors(v).ForEach(func(u int) bool {
+			if !numbered.Contains(u) {
+				reachCost[u] = -1 // direct edge: no internal vertices
+			}
+			return true
+		})
+		for {
+			u, best := -1, inf
+			for w, c := range reachCost {
+				if !done[w] && c < best {
+					u, best = w, c
+				}
+			}
+			if u == -1 || best == inf {
+				break
+			}
+			done[u] = true
+			// u can serve as an internal vertex only if the path may
+			// continue through it: the "max internal weight" becomes
+			// max(best, weight[u]).
+			through := best
+			if weight[u] > through {
+				through = weight[u]
+			}
+			g.Neighbors(u).ForEach(func(x int) bool {
+				if c, ok := reachCost[x]; ok && !done[x] && through < c {
+					reachCost[x] = through
+				}
+				return true
+			})
+		}
+		for u, c := range reachCost {
+			if c < weight[u] {
+				weight[u]++
+				if !h.HasEdge(u, v) {
+					h.AddEdge(u, v)
+				}
+			}
+		}
+		numbered.AddInPlace(v)
+	}
+	return h
+}
+
+// Minimal returns a deterministic minimal triangulation of g (LB-Triang in
+// ascending vertex order). It is the default black box used by the CKK
+// baseline.
+func Minimal(g *graph.Graph) *graph.Graph {
+	return LBTriang(g, nil)
+}

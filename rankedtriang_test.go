@@ -1,0 +1,168 @@
+package rankedtriang
+
+import (
+	"strings"
+	"testing"
+)
+
+func c4() *Graph {
+	g := NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 0)
+	return g
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	solver := NewSolver(c4(), Width())
+	enum := solver.Enumerate()
+	count := 0
+	for {
+		r, ok := enum.Next()
+		if !ok {
+			break
+		}
+		count++
+		if r.Cost != 2 {
+			t.Fatalf("C4 width = %v, want 2", r.Cost)
+		}
+		if err := r.Tree.Validate(r.H); err != nil {
+			t.Fatalf("invalid tree: %v", err)
+		}
+	}
+	if count != 2 {
+		t.Fatalf("C4 has %d minimal triangulations, want 2", count)
+	}
+}
+
+func TestOneShotHelpers(t *testing.T) {
+	r, err := MinimumTriangulation(c4(), FillIn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cost != 1 {
+		t.Fatalf("C4 min fill = %v", r.Cost)
+	}
+	top := TopK(c4(), FillIn(), 5)
+	if len(top) != 2 {
+		t.Fatalf("TopK = %d results", len(top))
+	}
+}
+
+func TestBoundedSolverFacade(t *testing.T) {
+	s := NewBoundedSolver(c4(), Width(), 2)
+	r, err := s.MinTriang(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tree.Width() != 2 {
+		t.Fatalf("width = %d", r.Tree.Width())
+	}
+	// Width bound 1 is infeasible for C4.
+	s = NewBoundedSolver(c4(), Width(), 1)
+	if _, err := s.MinTriang(nil); err != ErrNoTriangulation {
+		t.Fatalf("want ErrNoTriangulation, got %v", err)
+	}
+}
+
+func TestConstraintsFacade(t *testing.T) {
+	g := c4()
+	s := NewSolver(g, FillIn())
+	diag := NewVertexSet(4, 0, 2)
+	r, err := s.MinTriang((&Constraints{}).WithInclude(diag))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.H.HasEdge(0, 2) {
+		t.Fatalf("inclusion constraint ignored")
+	}
+	r, err = s.MinTriang((&Constraints{}).WithExclude(diag))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.H.HasEdge(0, 2) {
+		t.Fatalf("exclusion constraint ignored")
+	}
+}
+
+func TestCostConstructors(t *testing.T) {
+	g := c4()
+	for _, c := range []Cost{Width(), FillIn(), WidthThenFill(), StateSpace(nil),
+		BagWeightCost("bw", func(_ *Graph, b VertexSet) float64 { return float64(b.Len()) }),
+		EdgeWeightCost("ew", func(u, v int) float64 { return 1 }),
+	} {
+		if _, err := MinimumTriangulation(g, c); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+func TestReadersFacade(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("a b\nb c\n"))
+	if err != nil || g.NumEdges() != 2 {
+		t.Fatalf("edge list: %v %v", g, err)
+	}
+	g, err = ReadDIMACS(strings.NewReader("p edge 3 2\ne 1 2\ne 2 3\n"))
+	if err != nil || g.NumVertices() != 3 {
+		t.Fatalf("dimacs: %v %v", g, err)
+	}
+	g, err = ReadPACE(strings.NewReader("p tw 3 2\n1 2\n2 3\n"))
+	if err != nil || g.NumVertices() != 3 {
+		t.Fatalf("pace: %v %v", g, err)
+	}
+}
+
+func TestCKKFacade(t *testing.T) {
+	e := NewCKK(c4())
+	count := 0
+	for {
+		r, ok := e.Next()
+		if !ok {
+			break
+		}
+		if r.H == nil || len(r.Seps) == 0 {
+			t.Fatalf("bad CKK result")
+		}
+		count++
+	}
+	if count != 2 {
+		t.Fatalf("CKK found %d, want 2", count)
+	}
+}
+
+func TestHypergraphFacade(t *testing.T) {
+	h := NewHypergraph(3)
+	h.AddEdge(0, 1)
+	h.AddEdge(1, 2)
+	h.AddEdge(2, 0)
+	g := h.Primal()
+	r, err := MinimumTriangulation(g, h.HypertreeWidthCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cost != 2 {
+		t.Fatalf("hypertree width = %v", r.Cost)
+	}
+}
+
+func TestProperTDFacade(t *testing.T) {
+	s := NewSolver(c4(), Width())
+	e := s.EnumerateProperTDs()
+	count := 0
+	for {
+		d, r, ok := e.Next()
+		if !ok {
+			break
+		}
+		if d.Width() != 2 || r == nil {
+			t.Fatalf("bad proper TD")
+		}
+		count++
+	}
+	// Each of C4's two triangulations has 2 maximal cliques sharing the
+	// diagonal, hence a unique clique tree: 2 proper TDs.
+	if count != 2 {
+		t.Fatalf("proper TDs = %d, want 2", count)
+	}
+}
