@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/service"
+)
+
+// TestDaemonLifecycle boots the daemon's serving stack on a real TCP
+// listener and drives the acceptance scenario end to end: enumerate →
+// resume → exhausted over HTTP, a cache hit on re-submission of the same
+// graph, and a cancelled request leaving no live session behind.
+func TestDaemonLifecycle(t *testing.T) {
+	svc := service.New(service.Config{PageSize: 2})
+	httpSrv := &http.Server{Handler: svc}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go httpSrv.Serve(ln)
+	t.Cleanup(func() {
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutdownCtx)
+		svc.Close()
+	})
+	base := "http://" + ln.Addr().String()
+
+	var buf bytes.Buffer
+	if err := graph.WriteGraph6(&buf, gen.Cycle(5)); err != nil {
+		t.Fatal(err)
+	}
+	g6 := strings.TrimSpace(buf.String())
+	body := fmt.Sprintf(`{"graph6": %q, "page_size": 2}`, g6)
+
+	// Enumerate: first page plus resume token.
+	var first service.EnumerateResponse
+	postJSON(t, base+"/v1/enumerate", body, &first)
+	if first.Session == "" || first.Done || len(first.Results) != 2 {
+		t.Fatalf("bad first page: %+v", first)
+	}
+
+	// Resume until exhausted; C5 has exactly 5 minimal triangulations.
+	total := len(first.Results)
+	for i := 0; ; i++ {
+		if i > 5 {
+			t.Fatal("did not exhaust")
+		}
+		var page service.EnumerateResponse
+		resp, err := http.Get(base + "/v1/sessions/" + first.Session + "/next")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("next: %d", resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		total += len(page.Results)
+		if page.Done {
+			break
+		}
+	}
+	if total != 5 {
+		t.Fatalf("want 5 results, got %d", total)
+	}
+	if resp, err := http.Get(base + "/v1/sessions/" + first.Session + "/next"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("exhausted session should 404, got %d", resp.StatusCode)
+		}
+	}
+
+	// Re-submission of the same graph hits the solver cache.
+	var second service.EnumerateResponse
+	postJSON(t, base+"/v1/enumerate", body, &second)
+	if !second.CacheHit {
+		t.Fatal("re-submission should be served from the solver cache")
+	}
+
+	// A cancelled request leaves no live session behind.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req, _ := http.NewRequestWithContext(ctx, "POST", base+"/v1/enumerate", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	if _, err := http.DefaultClient.Do(req); err == nil {
+		t.Fatal("cancelled request should error")
+	}
+	// The second enumerate above holds the only expected live session.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var stats service.StatsResponse
+		resp, err := http.Get(base + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if stats.Sessions.Live <= 1 {
+			if stats.Pool.Hits < 1 {
+				t.Fatalf("stats should record the cache hit: %+v", stats.Pool)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cancelled request leaked a session: %+v", stats.Sessions)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func postJSON(t *testing.T, url, body string, out any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/gen"
+)
+
+func TestNewSolverContextBackground(t *testing.T) {
+	g := gen.PaperExample()
+	s, err := NewSolverContext(context.Background(), g, cost.Width{})
+	if err != nil {
+		t.Fatalf("NewSolverContext: %v", err)
+	}
+	ref := NewSolver(g, cost.Width{})
+	if len(s.MinimalSeparators()) != len(ref.MinimalSeparators()) || len(s.PMCs()) != len(ref.PMCs()) {
+		t.Fatalf("context solver differs from plain solver: %d/%d seps, %d/%d pmcs",
+			len(s.MinimalSeparators()), len(ref.MinimalSeparators()), len(s.PMCs()), len(ref.PMCs()))
+	}
+}
+
+func TestNewSolverContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := gen.PaperExample()
+	if s, err := NewSolverContext(ctx, g, cost.Width{}); err == nil {
+		t.Fatalf("want error from cancelled init, got solver %v", s)
+	} else if err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if _, err := NewBoundedSolverContext(ctx, g, cost.Width{}, 3); err == nil {
+		t.Fatal("want error from cancelled bounded init")
+	}
+}
+
+func TestEnumerateContextCancelStopsStream(t *testing.T) {
+	g := gen.PaperExample()
+	s := NewSolver(g, cost.Width{})
+	ctx, cancel := context.WithCancel(context.Background())
+	e := s.EnumerateContext(ctx)
+	if _, ok := e.Next(); !ok {
+		t.Fatal("first Next should succeed before cancellation")
+	}
+	cancel()
+	if r, ok := e.Next(); ok {
+		t.Fatalf("Next after cancel should report exhaustion, got %v", r)
+	}
+}
+
+func TestEnumerateContextMatchesPlainEnumeration(t *testing.T) {
+	g := gen.PaperExample()
+	s := NewSolver(g, cost.FillIn{})
+	plain := s.Enumerate()
+	ctxed := s.EnumerateContext(context.Background())
+	for {
+		a, aok := plain.Next()
+		b, bok := ctxed.Next()
+		if aok != bok {
+			t.Fatalf("stream length mismatch: plain ok=%v ctx ok=%v", aok, bok)
+		}
+		if !aok {
+			break
+		}
+		if a.Cost != b.Cost {
+			t.Fatalf("cost mismatch: %g vs %g", a.Cost, b.Cost)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"sync"
 
 	"repro/internal/cost"
@@ -19,6 +20,7 @@ import (
 // separators.
 type Enumerator struct {
 	s       *Solver
+	ctx     context.Context // cancellation for the branch-solving hot loop
 	queue   partitionQueue
 	seq     int
 	workers int // parallel branch solving when > 1
@@ -57,6 +59,15 @@ func (s *Solver) Enumerate() *Enumerator {
 	return s.EnumerateParallel(1)
 }
 
+// EnumerateContext is Enumerate bound to a context: once ctx is cancelled,
+// Next stops solving Lawler–Murty branches and reports exhaustion, so an
+// abandoned enumeration (e.g. a disconnected service session) stops
+// burning CPU. Cancellation truncates the enumeration — results already
+// queued are discarded, not drained.
+func (s *Solver) EnumerateContext(ctx context.Context) *Enumerator {
+	return s.EnumerateParallelContext(ctx, 1)
+}
+
 // EnumerateParallel is Enumerate with the Lawler–Murty branch
 // optimizations solved by a pool of workers — the delay-reduction
 // parallelization the paper sketches in Section 7.1 (footnote 3). The
@@ -65,12 +76,21 @@ func (s *Solver) Enumerate() *Enumerator {
 // static structures are read-only during enumeration, so the cost function
 // must merely be safe for concurrent Eval calls (all built-ins are).
 func (s *Solver) EnumerateParallel(workers int) *Enumerator {
+	return s.EnumerateParallelContext(context.Background(), workers)
+}
+
+// EnumerateParallelContext is EnumerateParallel bound to a context (see
+// EnumerateContext). A background context makes every check a no-op, so
+// existing callers pay nothing.
+func (s *Solver) EnumerateParallelContext(ctx context.Context, workers int) *Enumerator {
 	if workers < 1 {
 		workers = 1
 	}
-	e := &Enumerator{s: s, workers: workers}
-	if r, err := s.MinTriang(nil); err == nil {
-		e.push(r, &cost.Constraints{})
+	e := &Enumerator{s: s, ctx: ctx, workers: workers}
+	if ctx.Err() == nil {
+		if r, err := s.MinTriang(nil); err == nil {
+			e.push(r, &cost.Constraints{})
+		}
 	}
 	return e
 }
@@ -85,7 +105,7 @@ func (e *Enumerator) push(r *Result, cons *cost.Constraints) {
 // consecutive calls is polynomial in the initialization size (polynomial
 // delay under poly-MS, Theorem 4.4).
 func (e *Enumerator) Next() (*Result, bool) {
-	if len(e.queue) == 0 {
+	if len(e.queue) == 0 || e.ctx.Err() != nil {
 		return nil, false
 	}
 	p := heap.Pop(&e.queue).(*partition)
@@ -118,6 +138,9 @@ func (e *Enumerator) Next() (*Result, bool) {
 	results := make([]*Result, len(branches))
 	if e.workers <= 1 || len(branches) <= 1 {
 		for i, b := range branches {
+			if e.ctx.Err() != nil {
+				break
+			}
 			if r, err := e.s.MinTriang(b); err == nil {
 				results[i] = r
 			}
@@ -130,6 +153,9 @@ func (e *Enumerator) Next() (*Result, bool) {
 			go func() {
 				defer wg.Done()
 				for i := range work {
+					if e.ctx.Err() != nil {
+						continue
+					}
 					if r, err := e.s.MinTriang(branches[i]); err == nil {
 						results[i] = r
 					}

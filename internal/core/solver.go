@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sort"
@@ -73,41 +74,73 @@ var ErrNoTriangulation = errors.New("core: no admissible minimal triangulation")
 // must be a split-monotone bag cost; costs implementing cost.Combinable
 // use the fast combining path.
 func NewSolver(g *graph.Graph, c cost.Cost) *Solver {
-	return newSolver(g, c, -1)
+	s, _ := NewSolverContext(context.Background(), g, c)
+	return s
+}
+
+// NewSolverContext is NewSolver with cancellation: initialization aborts
+// with ctx.Err() when ctx is cancelled or times out during the separator,
+// PMC or block computation. The error path returns a nil solver; a
+// background context never fails. Services use this so a disconnected
+// client stops burning initialization CPU.
+func NewSolverContext(ctx context.Context, g *graph.Graph, c cost.Cost) (*Solver, error) {
+	return newSolver(ctx, g, c, -1)
+}
+
+// NewBoundedSolverContext is NewBoundedSolver with cancellation (see
+// NewSolverContext).
+func NewBoundedSolverContext(ctx context.Context, g *graph.Graph, c cost.Cost, b int) (*Solver, error) {
+	if b < 0 {
+		panic("core: negative width bound")
+	}
+	return newSolver(ctx, g, c, b)
 }
 
 // NewBoundedSolver initializes MinTriangB⟨b, κ⟩: only minimal separators
 // of size ≤ b and potential maximal cliques of size ≤ b+1 participate, so
 // every produced triangulation has width ≤ b (Theorem 5.6).
 func NewBoundedSolver(g *graph.Graph, c cost.Cost, b int) *Solver {
-	if b < 0 {
-		panic("core: negative width bound")
-	}
-	return newSolver(g, c, b)
+	s, _ := NewBoundedSolverContext(context.Background(), g, c, b)
+	return s
 }
 
-func newSolver(g *graph.Graph, c cost.Cost, bound int) *Solver {
+func newSolver(ctx context.Context, g *graph.Graph, c cost.Cost, bound int) (*Solver, error) {
 	start := time.Now()
 	s := &Solver{g: g, c: c, bound: bound}
 	if comb, ok := c.(cost.Combinable); ok {
 		s.comb = comb
 	}
+	var sepsOK bool
+	var pmcErr error
 	if bound >= 0 {
-		s.seps = minsep.AtMost(g, bound)
-		s.pmcs = pmc.AtMost(g, bound+1)
+		s.seps, sepsOK = minsep.AtMostCtx(ctx, g, bound)
+		if sepsOK {
+			s.pmcs, pmcErr = pmc.AtMostCtx(ctx, g, bound+1)
+		}
 	} else {
-		s.seps = minsep.All(g)
-		s.pmcs = pmc.All(g)
+		s.seps, sepsOK = minsep.AllCtx(ctx, g)
+		if sepsOK {
+			s.pmcs, pmcErr = pmc.AllCtx(ctx, g)
+		}
 	}
-	s.buildBlocks()
+	if !sepsOK || pmcErr != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, pmcErr
+	}
+	if err := s.buildBlocks(ctx); err != nil {
+		return nil, err
+	}
 	s.InitDuration = time.Since(start)
-	return s
+	return s, nil
 }
 
 // buildBlocks constructs the static DP structure: all full blocks sorted
 // by cardinality, each with its admissible PMCs and their sub-blocks, plus
-// a virtual top-level block (S = ∅, C = V).
-func (s *Solver) buildBlocks() {
+// a virtual top-level block (S = ∅, C = V). It checks ctx between blocks
+// and aborts with ctx.Err() on cancellation.
+func (s *Solver) buildBlocks(ctx context.Context) error {
 	g := s.g
 	full := pmc.FullBlocks(g, s.seps)
 	index := map[string]int{}
@@ -122,6 +155,9 @@ func (s *Solver) buildBlocks() {
 	s.blocks = append(s.blocks, blockData{block: top, span: g.Vertices().Clone()})
 
 	for i := range s.blocks {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		bd := &s.blocks[i]
 		for _, omega := range s.pmcs {
 			if !omega.SubsetOf(bd.span) || !bd.block.S.ProperSubsetOf(omega) {
@@ -147,6 +183,7 @@ func (s *Solver) buildBlocks() {
 			}
 		}
 	}
+	return nil
 }
 
 // Graph returns the input graph.

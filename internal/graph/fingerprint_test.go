@@ -1,0 +1,63 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/vset"
+)
+
+func TestFingerprintEqualGraphs(t *testing.T) {
+	a := New(5)
+	a.AddEdge(0, 1)
+	a.AddEdge(1, 2)
+	b := New(5)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 1)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("same edge set, different fingerprints")
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	base := New(5)
+	base.AddEdge(0, 1)
+
+	edge := base.Clone()
+	edge.AddEdge(2, 3)
+	if base.Fingerprint() == edge.Fingerprint() {
+		t.Fatal("extra edge not reflected in fingerprint")
+	}
+
+	bigger := New(6)
+	bigger.AddEdge(0, 1)
+	if base.Fingerprint() == bigger.Fingerprint() {
+		t.Fatal("universe size not reflected in fingerprint")
+	}
+
+	sub := base.InducedSubgraph(vset.Of(5, 0, 1, 2))
+	if base.Fingerprint() == sub.Fingerprint() {
+		t.Fatal("active vertex set not reflected in fingerprint")
+	}
+
+	// Label sensitivity: the same path on shifted labels must differ.
+	p1 := New(4)
+	p1.AddEdge(0, 1)
+	p1.AddEdge(1, 2)
+	p2 := New(4)
+	p2.AddEdge(1, 2)
+	p2.AddEdge(2, 3)
+	if p1.Fingerprint() == p2.Fingerprint() {
+		t.Fatal("isomorphic but differently labeled graphs should differ")
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 2)
+	// Golden value: the fingerprint is a cross-process cache key, so it
+	// must never change silently across refactors of Graph internals.
+	const want = "9057a0155c8a428621930c3cc5df8118da27e060d6e1d4ccc53fe39802b8e298"
+	if got := g.Fingerprint(); got != want {
+		t.Fatalf("fingerprint drifted: got %s want %s", got, want)
+	}
+}

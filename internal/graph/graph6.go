@@ -69,6 +69,32 @@ func WriteGraph6(w io.Writer, g *Graph) error {
 	return err
 }
 
+// graph6Header decodes the N(n) vertex-count prefix of a graph6 line,
+// returning n and the adjacency payload that follows it.
+func graph6Header(data []byte) (int, []byte, error) {
+	switch {
+	case len(data) == 0:
+		return 0, nil, fmt.Errorf("empty encoding")
+	case data[0] != 126:
+		return int(data[0] - 63), data[1:], nil
+	case len(data) >= 4 && data[1] != 126:
+		n := int(data[1]-63)<<12 | int(data[2]-63)<<6 | int(data[3]-63)
+		return n, data[4:], nil
+	default:
+		return 0, nil, fmt.Errorf("unsupported large-n encoding")
+	}
+}
+
+// Graph6HeaderN decodes just the claimed vertex count of one graph6 line,
+// without touching the adjacency payload. Services use it to bound inputs
+// before committing to the O(n²) decode.
+func Graph6HeaderN(line string) (int, error) {
+	line = strings.TrimSpace(line)
+	line = strings.TrimPrefix(line, ">>graph6<<")
+	n, _, err := graph6Header([]byte(line))
+	return n, err
+}
+
 func parseGraph6(s string) (*Graph, error) {
 	data := []byte(s)
 	for _, c := range data {
@@ -76,24 +102,20 @@ func parseGraph6(s string) (*Graph, error) {
 			return nil, fmt.Errorf("invalid character %q", c)
 		}
 	}
-	n := 0
-	switch {
-	case len(data) == 0:
-		return nil, fmt.Errorf("empty encoding")
-	case data[0] != 126:
-		n = int(data[0] - 63)
-		data = data[1:]
-	case len(data) >= 4 && data[1] != 126:
-		n = int(data[1]-63)<<12 | int(data[2]-63)<<6 | int(data[3]-63)
-		data = data[4:]
-	default:
-		return nil, fmt.Errorf("unsupported large-n encoding")
+	n, data, err := graph6Header(data)
+	if err != nil {
+		return nil, err
 	}
-	g := New(n)
-	need := n * (n - 1) / 2
-	if len(data)*6 < need {
+	// Validate the payload length before allocating the O(n²) adjacency
+	// structure: the 4-byte large-n header can claim n in the hundreds of
+	// thousands, and a service must not allocate gigabytes on the word of
+	// a 20-byte request. 64-bit arithmetic so the product cannot wrap on
+	// 32-bit platforms and skip the check.
+	need := int64(n) * int64(n-1) / 2
+	if int64(len(data))*6 < need {
 		return nil, fmt.Errorf("truncated: need %d bits, have %d", need, len(data)*6)
 	}
+	g := New(n)
 	bit := 0
 	for v := 1; v < n; v++ {
 		for u := 0; u < v; u++ {

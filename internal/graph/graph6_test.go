@@ -96,3 +96,25 @@ func TestGraph6LargeN(t *testing.T) {
 		t.Fatalf("large-n round trip failed")
 	}
 }
+
+func TestParseGraph6HugeClaimedN(t *testing.T) {
+	// A 4-byte large-n header claiming ~258k vertices with no payload
+	// must be rejected before the O(n²) adjacency allocation.
+	if _, err := ReadGraph6(strings.NewReader("~}}}")); err == nil {
+		t.Fatal("want truncation error for huge claimed n with empty payload")
+	}
+}
+
+func TestGraph6HeaderN(t *testing.T) {
+	// Header-only decode must report the claimed n without parsing the
+	// payload (which may be absent or huge).
+	if n, err := Graph6HeaderN("~}}}"); err != nil || n != 257982 {
+		t.Fatalf("large-n header: n=%d err=%v", n, err)
+	}
+	if n, err := Graph6HeaderN("Dhc"); err != nil || n != 5 {
+		t.Fatalf("small header: n=%d err=%v", n, err)
+	}
+	if _, err := Graph6HeaderN(""); err == nil {
+		t.Fatal("empty line should error")
+	}
+}

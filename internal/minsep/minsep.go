@@ -4,6 +4,7 @@
 package minsep
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -20,7 +21,7 @@ import (
 // close under the expansion step S ↦ N(C) for components C of
 // G \ (S ∪ N(x)), x ∈ S.
 func All(g *graph.Graph) []vset.Set {
-	out, _ := all(g, time.Time{})
+	out, _ := all(g, nil)
 	return out
 }
 
@@ -30,10 +31,26 @@ func All(g *graph.Graph) []vset.Set {
 // tractability experiments (Figure 5), which classify graphs by whether
 // the separators can be generated within a time budget.
 func AllWithDeadline(g *graph.Graph, deadline time.Time) ([]vset.Set, bool) {
-	return all(g, deadline)
+	if deadline.IsZero() {
+		return all(g, nil)
+	}
+	return all(g, func() bool { return time.Now().After(deadline) })
 }
 
-func all(g *graph.Graph, deadline time.Time) ([]vset.Set, bool) {
+// AllCtx is All with cancellation: it returns ok=false (and a partial
+// list) when ctx is cancelled or its deadline passes before the closure
+// completes. This is the entry point long-lived services use to abandon
+// initialization work for disconnected clients.
+func AllCtx(ctx context.Context, g *graph.Graph) ([]vset.Set, bool) {
+	if ctx.Done() == nil {
+		return all(g, nil)
+	}
+	return all(g, func() bool { return ctx.Err() != nil })
+}
+
+// all runs the closure, aborting early when the (possibly nil) expired
+// predicate reports true.
+func all(g *graph.Graph, expired func() bool) ([]vset.Set, bool) {
 	seen := map[string]vset.Set{}
 	var queue []vset.Set
 	add := func(s vset.Set) {
@@ -43,8 +60,8 @@ func all(g *graph.Graph, deadline time.Time) ([]vset.Set, bool) {
 			queue = append(queue, s)
 		}
 	}
-	expired := func() bool {
-		return !deadline.IsZero() && time.Now().After(deadline)
+	if expired == nil {
+		expired = func() bool { return false }
 	}
 	g.Vertices().ForEach(func(v int) bool {
 		for _, c := range g.ComponentsAvoiding(g.ClosedNeighborhood(v)) {
@@ -87,13 +104,23 @@ func collect(g *graph.Graph, seen map[string]vset.Set) []vset.Set {
 // fixed-parameter pruning the paper alludes to is a complexity-only
 // optimization and is intentionally not replicated (see DESIGN.md).
 func AtMost(g *graph.Graph, k int) []vset.Set {
+	out, _ := AtMostCtx(context.Background(), g, k)
+	return out
+}
+
+// AtMostCtx is AtMost with cancellation (see AllCtx).
+func AtMostCtx(ctx context.Context, g *graph.Graph, k int) ([]vset.Set, bool) {
+	seps, ok := AllCtx(ctx, g)
+	if !ok {
+		return nil, false
+	}
 	var out []vset.Set
-	for _, s := range All(g) {
+	for _, s := range seps {
 		if s.Len() <= k {
 			out = append(out, s)
 		}
 	}
-	return out
+	return out, true
 }
 
 // Crosses reports whether s crosses t in g: some two vertices of t are

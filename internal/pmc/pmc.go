@@ -6,6 +6,7 @@
 package pmc
 
 import (
+	"context"
 	"errors"
 	"sort"
 	"time"
@@ -73,7 +74,7 @@ func IsPMC(g *graph.Graph, omega vset.Set) bool {
 // the paper); completeness is property-tested against the brute-force
 // oracle.
 func All(g *graph.Graph) []vset.Set {
-	out, _ := enumerate(g, -1, time.Time{})
+	out, _ := enumerate(context.Background(), g, -1)
 	return out
 }
 
@@ -83,7 +84,19 @@ var ErrDeadline = errors.New("pmc: deadline exceeded")
 // AllWithDeadline is All with a wall-clock deadline; it returns
 // ErrDeadline when the budget runs out (Figure 5 tractability runs).
 func AllWithDeadline(g *graph.Graph, deadline time.Time) ([]vset.Set, error) {
-	out, ok := enumerate(g, -1, deadline)
+	if deadline.IsZero() {
+		return All(g), nil
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
+	defer cancel()
+	return AllCtx(ctx, g)
+}
+
+// AllCtx is All with cancellation: it returns ErrDeadline when ctx is
+// cancelled or times out before the enumeration completes. Long-lived
+// services use it to abandon initialization for disconnected clients.
+func AllCtx(ctx context.Context, g *graph.Graph) ([]vset.Set, error) {
+	out, ok := enumerate(ctx, g, -1)
 	if !ok {
 		return nil, ErrDeadline
 	}
@@ -95,11 +108,20 @@ func AllWithDeadline(g *graph.Graph, deadline time.Time) ([]vset.Set, error) {
 // pruned during enumeration, but the separator lists are still complete
 // (see minsep.AtMost for the discussion).
 func AtMost(g *graph.Graph, k int) []vset.Set {
-	out, _ := enumerate(g, k, time.Time{})
+	out, _ := enumerate(context.Background(), g, k)
 	return out
 }
 
-func enumerate(g *graph.Graph, maxSize int, deadline time.Time) ([]vset.Set, bool) {
+// AtMostCtx is AtMost with cancellation (see AllCtx).
+func AtMostCtx(ctx context.Context, g *graph.Graph, k int) ([]vset.Set, error) {
+	out, ok := enumerate(ctx, g, k)
+	if !ok {
+		return nil, ErrDeadline
+	}
+	return out, nil
+}
+
+func enumerate(ctx context.Context, g *graph.Graph, maxSize int) ([]vset.Set, bool) {
 	verts := g.Vertices().Slice()
 	n := g.Universe()
 	current := map[string]vset.Set{}
@@ -107,7 +129,7 @@ func enumerate(g *graph.Graph, maxSize int, deadline time.Time) ([]vset.Set, boo
 	prevSepKeys := map[string]bool{}
 	prefix := vset.New(n)
 	for i, a := range verts {
-		if !deadline.IsZero() && time.Now().After(deadline) {
+		if ctx.Err() != nil {
 			return nil, false
 		}
 		prefix.AddInPlace(a)
@@ -128,13 +150,13 @@ func enumerate(g *graph.Graph, maxSize int, deadline time.Time) ([]vset.Set, boo
 		if i == 0 {
 			consider(vset.Of(n, a))
 			current = next
-			prevSeps, _ = minsep.AllWithDeadline(gi, deadline)
+			prevSeps, _ = minsep.AllCtx(ctx, gi)
 			for _, s := range prevSeps {
 				prevSepKeys[s.Key()] = true
 			}
 			continue
 		}
-		seps, sepsOK := minsep.AllWithDeadline(gi, deadline)
+		seps, sepsOK := minsep.AllCtx(ctx, gi)
 		if !sepsOK {
 			return nil, false
 		}

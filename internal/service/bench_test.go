@@ -1,0 +1,83 @@
+package service
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/exp"
+)
+
+// benchGraphs returns the small end of the Grids experiment family — the
+// serving-layer baseline graphs. Larger experiment graphs are excluded so
+// the cold-init benchmark stays minutes-free; the cold/cached ratio is
+// what later perf PRs track, not the absolute init time.
+func benchGraphs(b *testing.B) []exp.NamedGraph {
+	for _, ds := range exp.Datasets(1) {
+		if ds.Name != "Grids" {
+			continue
+		}
+		var out []exp.NamedGraph
+		for _, ng := range ds.Graphs {
+			if ng.Graph.NumVertices() <= 16 {
+				out = append(out, ng)
+			}
+		}
+		if len(out) == 0 {
+			b.Fatal("no small grid graphs in the experiment corpus")
+		}
+		return out
+	}
+	b.Fatal("Grids dataset missing from the experiment corpus")
+	return nil
+}
+
+// BenchmarkSolverPoolColdInit measures the miss path: full solver
+// initialization (minimal separators, PMCs, blocks) through the pool.
+func BenchmarkSolverPoolColdInit(b *testing.B) {
+	graphs := benchGraphs(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pool := NewSolverPool(len(graphs))
+		for _, ng := range graphs {
+			g := ng.Graph
+			key := SolverKey{Fingerprint: g.Fingerprint(), Cost: "width", Bound: -1}
+			if _, _, err := pool.Get(context.Background(), key, func(ctx context.Context) (*core.Solver, error) {
+				return core.NewSolverContext(ctx, g, cost.Width{})
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSolverPoolCachedFetch measures the hit path: fingerprint
+// hashing plus the LRU lookup, the steady-state cost of a re-submitted
+// graph.
+func BenchmarkSolverPoolCachedFetch(b *testing.B) {
+	graphs := benchGraphs(b)
+	pool := NewSolverPool(len(graphs))
+	for _, ng := range graphs {
+		g := ng.Graph
+		key := SolverKey{Fingerprint: g.Fingerprint(), Cost: "width", Bound: -1}
+		if _, _, err := pool.Get(context.Background(), key, func(ctx context.Context) (*core.Solver, error) {
+			return core.NewSolverContext(ctx, g, cost.Width{})
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := graphs[i%len(graphs)].Graph
+		key := SolverKey{Fingerprint: g.Fingerprint(), Cost: "width", Bound: -1}
+		_, hit, err := pool.Get(context.Background(), key, func(ctx context.Context) (*core.Solver, error) {
+			b.Fatal("cached fetch must not rebuild")
+			return nil, nil
+		})
+		if err != nil || !hit {
+			b.Fatalf("want cache hit, got hit=%v err=%v", hit, err)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Package service is the serving layer over the RankedTriang machinery:
+// it exposes ranked enumeration of minimal triangulations as a long-lived,
+// concurrent HTTP/JSON service. The anytime shape of the paper's algorithm
+// — results stream by increasing cost, clients stop when the prefix is
+// good enough — maps directly onto paged and streamed HTTP responses.
+//
+// The subsystem has three layers:
+//
+//   - SolverPool deduplicates and LRU-caches initialized core.Solvers,
+//     keyed by the canonical graph fingerprint plus the cost and width
+//     bound. Concurrent requests for the same key share one
+//     initialization; abandoned initializations are cancelled via
+//     context once their last waiter disconnects.
+//   - SessionManager holds live core.Enumerator streams behind opaque
+//     resume tokens so clients page through results across requests.
+//     Idle sessions are evicted by a janitor and their enumeration
+//     contexts cancelled, so abandoned sessions stop burning CPU.
+//   - Server wires both behind an http.Handler with bounded-concurrency
+//     admission and graceful shutdown. cmd/rankedtriangd is the daemon
+//     around it.
+//
+// # HTTP API
+//
+// POST /v1/enumerate — submit a graph and start an enumeration.
+// Request body (application/json), exactly one graph source:
+//
+//	{
+//	  "graph6": "D?{",             // nauty graph6, one graph
+//	  "n": 4, "edges": [[0,1],[1,2]],  // or an edge list over {0..n-1}
+//	  "hyperedges": [[0,1,2],[2,3]],   // or a hypergraph (primal graph is
+//	                                   // triangulated; enables hypergraph costs)
+//	  "cost": "width",             // width|fill|lex|statespace|hypertree|fractional-htw
+//	  "domains": [2,3,2,2],        // per-vertex domain sizes for statespace
+//	  "bound": 3,                  // optional width bound (MinTriangB)
+//	  "page_size": 10,             // results per page
+//	  "max_results": 0,            // stream mode: stop after this many (0 = all)
+//	  "stream": false              // true = NDJSON streaming instead of paging
+//	}
+//
+// Response: the first page of results plus a resume token (empty when the
+// enumeration is already exhausted):
+//
+//	{
+//	  "session": "f2a9…",          // pass to /v1/sessions/{token}/next
+//	  "done": false,
+//	  "cache_hit": true,           // solver served from the pool
+//	  "cost": "width",
+//	  "graph": {"n": 4, "m": 3, "fingerprint": "9057…"},
+//	  "solver": {"minimal_separators": 2, "pmcs": 4, "full_blocks": 4, "init_ms": 0},
+//	  "results": [{"index": 0, "cost": 1, "width": 1, "fill": 0,
+//	               "bags": [[0,1],[1,2]], "separators": [[1]]}, …]
+//	}
+//
+// With "stream": true the response is application/x-ndjson: one result
+// object per line in increasing cost order, terminated by a summary line
+// {"done":true,"count":N}. No session is created; disconnecting cancels
+// the enumeration.
+//
+// GET /v1/sessions/{token}/next?page_size=N — the next page for a live
+// session. Returns {"session","done","results"}; when done is true the
+// session is closed and the token becomes invalid (404 afterwards).
+// Adding &from=R recovers a page lost in flight: if R names the start
+// rank of the most recent page, that page is re-served verbatim; if R is
+// the current cursor, paging proceeds normally; anything else is a 409.
+// Only one page of history is kept, and the final (done) page is not
+// replayable — its session is already closed; re-enumerate instead (the
+// solver is cached, so this is cheap).
+//
+// GET /v1/sessions/{token} — session metadata (emitted count, queued
+// partitions, idle time). DELETE /v1/sessions/{token} — close early.
+//
+// GET /v1/stats — cache hit rates, live/expired session counts, request
+// totals. GET /healthz — liveness.
+//
+// Errors are {"error": "…"} with a 4xx/5xx status: 400 for malformed
+// graphs or unknown costs, 404 for unknown sessions, 429 when the session
+// table is full, 503 when admission or initialization is cancelled or
+// times out, or when the server is shutting down.
+package service

@@ -1,0 +1,436 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Config tunes the Server. Zero values select the documented defaults.
+type Config struct {
+	// CacheSize caps the solver pool (default 64 solvers).
+	CacheSize int
+	// MaxSessions caps concurrently parked enumerations (default 256).
+	MaxSessions int
+	// IdleTimeout evicts sessions not paged for this long (default 5m).
+	IdleTimeout time.Duration
+	// PageSize is the default page size (default 10, hard cap 1000).
+	PageSize int
+	// MaxConcurrent bounds requests admitted into solver initialization
+	// and paging at once; excess requests queue on the admission
+	// semaphore until admitted or cancelled (default 8).
+	MaxConcurrent int
+	// MaxVertices rejects larger graphs with 400 — solver initialization
+	// is exponential in the worst case, so a service must bound its
+	// inputs (default 128).
+	MaxVertices int
+	// InitTimeout bounds one solver initialization (default 60s).
+	InitTimeout time.Duration
+	// StreamTimeout bounds one NDJSON stream's total lifetime (default
+	// 5m). A stream holds an admission slot from start to finish, so an
+	// unbounded stream could park a slot forever.
+	StreamTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	// Zero and negative both select the default: a negative field is
+	// never meaningful here, and letting one through would panic (e.g.
+	// make(chan, -1)) or wedge paging.
+	if c.CacheSize <= 0 {
+		c.CacheSize = 64
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 256
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 5 * time.Minute
+	}
+	if c.PageSize <= 0 {
+		c.PageSize = 10
+	}
+	if c.PageSize > maxPageSize {
+		c.PageSize = maxPageSize
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 8
+	}
+	if c.MaxVertices <= 0 {
+		c.MaxVertices = 128
+	}
+	if c.InitTimeout <= 0 {
+		c.InitTimeout = 60 * time.Second
+	}
+	if c.StreamTimeout <= 0 {
+		c.StreamTimeout = 5 * time.Minute
+	}
+	return c
+}
+
+// maxPageSize is the hard cap on page_size, protecting response sizes.
+const maxPageSize = 1000
+
+// maxBodyBytes caps request bodies.
+const maxBodyBytes = 16 << 20
+
+// Server is the ranked-enumeration HTTP service (see the package doc for
+// the API). It is an http.Handler; Close releases every live session.
+type Server struct {
+	cfg      Config
+	pool     *SolverPool
+	sessions *SessionManager
+	sem      chan struct{}
+	mux      *http.ServeMux
+	start    time.Time
+	requests atomic.Uint64
+}
+
+// New returns a ready-to-serve Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		pool:     NewSolverPool(cfg.CacheSize),
+		sessions: NewSessionManager(cfg.MaxSessions, cfg.IdleTimeout),
+		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/enumerate", s.handleEnumerate)
+	s.mux.HandleFunc("GET /v1/sessions/{token}/next", s.handleNext)
+	s.mux.HandleFunc("GET /v1/sessions/{token}", s.handleSessionInfo)
+	s.mux.HandleFunc("DELETE /v1/sessions/{token}", s.handleSessionDelete)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close cancels every live enumeration and stops background work. In-
+// flight HTTP requests are the http.Server's to drain — call this after
+// its Shutdown.
+func (s *Server) Close() {
+	s.sessions.Close()
+}
+
+// Pool exposes the solver pool (stats, tests).
+func (s *Server) Pool() *SolverPool { return s.pool }
+
+// Sessions exposes the session manager (stats, tests).
+func (s *Server) Sessions() *SessionManager { return s.sessions }
+
+// admit blocks until a concurrency slot frees up or ctx is cancelled.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	var req EnumerateRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %v", err))
+		return
+	}
+	g, h, err := buildGraph(&req, s.cfg.MaxVertices)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	c, costKey, err := buildCost(&req, g, h)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	bound := -1
+	if req.Bound != nil {
+		if *req.Bound < 0 {
+			writeError(w, http.StatusBadRequest, errors.New("bound must be non-negative"))
+			return
+		}
+		bound = *req.Bound
+	}
+	pageSize, err := clampPageSize(req.PageSize, s.cfg.PageSize)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	release, err := s.admit(ctx)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, errors.New("cancelled while waiting for admission"))
+		return
+	}
+	defer release()
+
+	key := SolverKey{Fingerprint: g.Fingerprint(), Cost: costKey, Bound: bound}
+	solver, hit, err := s.pool.Get(ctx, key, func(bctx context.Context) (*core.Solver, error) {
+		bctx, cancel := context.WithTimeout(bctx, s.cfg.InitTimeout)
+		defer cancel()
+		if bound >= 0 {
+			return core.NewBoundedSolverContext(bctx, g, c, bound)
+		}
+		return core.NewSolverContext(bctx, g, c)
+	})
+	if err != nil {
+		// Cancelled or out-of-budget initialization is a capacity signal
+		// (503, as documented), not a server bug (500).
+		status := http.StatusInternalServerError
+		if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, fmt.Errorf("solver initialization failed: %v", err))
+		return
+	}
+
+	if req.Stream {
+		s.streamResults(w, r, g, solver, req.MaxResults)
+		return
+	}
+
+	sess, err := s.sessions.Create(solver, key)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	_, results, done, pageErr := sess.NextPage(ctx, pageSize)
+	if done || pageErr != nil || ctx.Err() != nil {
+		// Exhausted in the first page, evicted under us, or the client is
+		// gone before it ever saw the token: either way no live session
+		// must remain behind.
+		s.sessions.Remove(sess.Token)
+	}
+	if pageErr != nil || ctx.Err() != nil {
+		writeError(w, http.StatusServiceUnavailable, errors.New("request cancelled"))
+		return
+	}
+	resp := &EnumerateResponse{
+		Done:     done,
+		CacheHit: hit,
+		Cost:     c.Name(),
+		Graph:    &GraphInfo{N: g.Universe(), M: g.NumEdges(), Fingerprint: key.Fingerprint},
+		Solver: &SolverInfo{
+			MinimalSeparators: len(solver.MinimalSeparators()),
+			PMCs:              len(solver.PMCs()),
+			FullBlocks:        solver.NumFullBlocks(),
+			InitMillis:        solver.InitDuration.Milliseconds(),
+		},
+		Results: pageJSON(g, 0, results),
+	}
+	if !done {
+		resp.Session = sess.Token
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// streamWriteTimeout bounds each NDJSON line write. The stream holds an
+// admission slot for its whole lifetime, so a client that accepts bytes
+// arbitrarily slowly must not be able to park that slot forever.
+const streamWriteTimeout = 30 * time.Second
+
+// streamResults writes the enumeration as NDJSON lines bound to the
+// request context: a disconnect cancels the hot loop, a stalled reader
+// hits the per-line write deadline, and the stream's total lifetime is
+// capped by Config.StreamTimeout so a slow-but-steady reader cannot park
+// an admission slot forever. No session is created; the stream is the
+// whole lifecycle.
+func (s *Server) streamResults(w http.ResponseWriter, r *http.Request, g *graph.Graph, solver *core.Solver, max int) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.StreamTimeout)
+	defer cancel()
+	e := solver.EnumerateContext(ctx)
+	count := 0
+	for max <= 0 || count < max {
+		res, ok := e.Next()
+		if !ok {
+			break
+		}
+		rc.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+		if enc.Encode(resultJSON(g, count, res)) != nil {
+			return // client gone or stalled past the deadline
+		}
+		count++
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	rc.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+	summary := map[string]any{"done": true, "count": count}
+	if ctx.Err() != nil && (max <= 0 || count < max) {
+		// The stream-lifetime budget expired before exhaustion: the
+		// client got a prefix, not the full enumeration.
+		summary["done"] = false
+		summary["truncated"] = true
+	}
+	enc.Encode(summary)
+}
+
+func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	sess, err := s.sessions.Get(r.PathValue("token"))
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	pageSize := s.cfg.PageSize
+	if q := r.URL.Query().Get("page_size"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad page_size %q", q))
+			return
+		}
+		if pageSize, err = clampPageSize(n, s.cfg.PageSize); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	if q := r.URL.Query().Get("from"); q != "" {
+		from, err := strconv.Atoi(q)
+		if err != nil || from < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad from %q", q))
+			return
+		}
+		// Replay is the recovery path for a page lost in flight: it
+		// re-serves the buffered last page without touching the
+		// enumerator, so it needs no admission slot.
+		start, results, done, ok := sess.Replay(from)
+		if !ok {
+			writeError(w, http.StatusConflict,
+				fmt.Errorf("rank %d is not replayable: only the last page's start or the current cursor is", from))
+			return
+		}
+		if len(results) > 0 {
+			resp := &EnumerateResponse{Done: done, Results: pageJSON(sess.graphOf(), start, results)}
+			if !done {
+				resp.Session = sess.Token
+			}
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		// from equals the live cursor; fall through to normal paging.
+	}
+
+	release, err := s.admit(ctx)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, errors.New("cancelled while waiting for admission"))
+		return
+	}
+	defer release()
+
+	start, results, done, pageErr := sess.NextPage(ctx, pageSize)
+	if pageErr != nil {
+		if errors.Is(pageErr, ErrSessionNotFound) {
+			// Evicted or shut down between lookup and paging.
+			writeError(w, http.StatusNotFound, ErrSessionNotFound)
+			return
+		}
+		// The paging request died; the page is parked for redelivery and
+		// the session stays resumable. The response likely goes nowhere.
+		writeError(w, http.StatusServiceUnavailable, errors.New("request cancelled"))
+		return
+	}
+	if done {
+		s.sessions.Remove(sess.Token)
+	}
+	resp := &EnumerateResponse{Done: done, Results: pageJSON(sess.graphOf(), start, results)}
+	if !done {
+		resp.Session = sess.Token
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.sessions.Get(r.PathValue("token"))
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.Info())
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.sessions.Remove(r.PathValue("token")) {
+		writeError(w, http.StatusNotFound, ErrSessionNotFound)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, &StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.requests.Load(),
+		Pool:          s.pool.Stats(),
+		Sessions:      s.sessions.Stats(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}
+
+func pageJSON(g *graph.Graph, start int, results []*core.Result) []TriangulationJSON {
+	out := make([]TriangulationJSON, len(results))
+	for i, r := range results {
+		out[i] = resultJSON(g, start+i, r)
+	}
+	return out
+}
+
+func clampPageSize(requested, def int) (int, error) {
+	if requested < 0 {
+		return 0, errors.New("page_size must be positive")
+	}
+	if requested == 0 {
+		return def, nil
+	}
+	if requested > maxPageSize {
+		return maxPageSize, nil
+	}
+	return requested, nil
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrSessionNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrTooManySessions):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, &ErrorResponse{Error: err.Error()})
+}

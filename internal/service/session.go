@@ -1,0 +1,342 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// ErrSessionNotFound reports an unknown, completed or evicted session
+// token (HTTP 404).
+var ErrSessionNotFound = errors.New("service: unknown or expired session")
+
+// ErrTooManySessions reports that the live-session table is full
+// (HTTP 429).
+var ErrTooManySessions = errors.New("service: session limit reached")
+
+// ErrShuttingDown reports that the manager has been closed and accepts no
+// new sessions (HTTP 503).
+var ErrShuttingDown = errors.New("service: shutting down")
+
+// Session is one live enumeration stream parked between requests. All
+// paging goes through NextPage, which serializes concurrent requests for
+// the same token.
+type Session struct {
+	Token string
+	Key   SolverKey
+
+	g         *graph.Graph
+	mu        sync.Mutex
+	enum      *core.Enumerator
+	ctx       context.Context // the enumeration's context; done = evicted/shutdown
+	cancel    context.CancelFunc
+	last      time.Time
+	emitted   int
+	pending   []*core.Result // pulled but never delivered (cancelled paging request)
+	lastStart int            // global rank of the most recent page's first result
+	lastPage  []*core.Result // the most recent page, kept for ?from= replay
+	done      bool
+}
+
+// graphOf returns the graph the session enumerates (for wire conversion).
+func (s *Session) graphOf() *graph.Graph { return s.g }
+
+// SessionStats is a snapshot of SessionManager counters.
+type SessionStats struct {
+	Live    int    `json:"live"`
+	Created uint64 `json:"created"`
+	Expired uint64 `json:"expired"`
+}
+
+// SessionManager owns the token → Session table: creation under a
+// capacity limit, lookup, deletion, idle eviction by a janitor goroutine,
+// and cancellation of every live enumeration on shutdown.
+type SessionManager struct {
+	mu       sync.Mutex
+	sessions map[string]*Session
+	max      int
+	idle     time.Duration
+	created  uint64
+	expired  uint64
+	closed   bool
+
+	base       context.Context
+	baseCancel context.CancelFunc
+	janitor    chan struct{}
+}
+
+// NewSessionManager returns a manager holding at most max sessions and
+// evicting sessions idle longer than idle.
+func NewSessionManager(max int, idle time.Duration) *SessionManager {
+	if max < 1 {
+		max = 1
+	}
+	if idle <= 0 {
+		idle = 5 * time.Minute
+	}
+	base, cancel := context.WithCancel(context.Background())
+	m := &SessionManager{
+		sessions:   make(map[string]*Session),
+		max:        max,
+		idle:       idle,
+		base:       base,
+		baseCancel: cancel,
+		janitor:    make(chan struct{}),
+	}
+	go m.runJanitor()
+	return m
+}
+
+// Create registers a new session streaming from solver. The enumeration
+// context descends from the manager, so Close and idle eviction cancel it.
+func (m *SessionManager) Create(solver *core.Solver, key SolverKey) (*Session, error) {
+	// Cheap admission check first: a full table must reject before the
+	// enumerator's first MinTriang — the most expensive single solve —
+	// burns CPU on work that can never be admitted.
+	if err := m.admittable(); err != nil {
+		return nil, err
+	}
+	// The solve itself runs outside the table lock, so a slow first
+	// MinTriang never stalls unrelated sessions.
+	ctx, cancel := context.WithCancel(m.base)
+	s := &Session{
+		Key:    key,
+		g:      solver.Graph(),
+		enum:   solver.EnumerateContext(ctx),
+		ctx:    ctx,
+		cancel: cancel,
+		last:   time.Now(),
+	}
+	m.mu.Lock()
+	if m.closed || len(m.sessions) >= m.max {
+		closed := m.closed
+		m.mu.Unlock()
+		cancel()
+		if closed {
+			return nil, ErrShuttingDown
+		}
+		return nil, ErrTooManySessions
+	}
+	s.Token = newToken()
+	m.sessions[s.Token] = s
+	m.created++
+	m.mu.Unlock()
+	return s, nil
+}
+
+// admittable reports whether a new session would currently be accepted.
+func (m *SessionManager) admittable() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrShuttingDown
+	}
+	if len(m.sessions) >= m.max {
+		return ErrTooManySessions
+	}
+	return nil
+}
+
+// Get returns the live session for token.
+func (m *SessionManager) Get(token string) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[token]
+	if !ok {
+		return nil, ErrSessionNotFound
+	}
+	return s, nil
+}
+
+// Remove closes the session for token, cancelling its enumeration.
+func (m *SessionManager) Remove(token string) bool {
+	m.mu.Lock()
+	s, ok := m.sessions[token]
+	delete(m.sessions, token)
+	m.mu.Unlock()
+	if ok {
+		s.cancel()
+	}
+	return ok
+}
+
+// Close cancels every live enumeration and stops the janitor. The manager
+// rejects new sessions afterwards.
+func (m *SessionManager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.sessions = make(map[string]*Session)
+	m.mu.Unlock()
+	m.baseCancel()
+	close(m.janitor)
+}
+
+// Stats returns a snapshot of the session counters.
+func (m *SessionManager) Stats() SessionStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return SessionStats{Live: len(m.sessions), Created: m.created, Expired: m.expired}
+}
+
+// runJanitor evicts idle sessions. The tick is a fraction of the idle
+// timeout so eviction latency stays proportional to the configured budget.
+func (m *SessionManager) runJanitor() {
+	tick := m.idle / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	if tick > 30*time.Second {
+		tick = 30 * time.Second
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.janitor:
+			return
+		case <-t.C:
+		}
+		cutoff := time.Now().Add(-m.idle)
+		m.mu.Lock()
+		snapshot := make([]*Session, 0, len(m.sessions))
+		for _, s := range m.sessions {
+			snapshot = append(snapshot, s)
+		}
+		m.mu.Unlock()
+		for _, s := range snapshot {
+			// TryLock: a session mid-NextPage is busy, hence not idle —
+			// and blocking on it here (or worse, while holding m.mu)
+			// would stall eviction behind one slow page.
+			if !s.mu.TryLock() {
+				continue
+			}
+			stale := s.last.Before(cutoff)
+			if stale {
+				// Holding s.mu across the table update keeps NextPage
+				// from touching the session between check and eviction.
+				// Lock order s.mu → m.mu is safe: no other path holds
+				// m.mu while acquiring s.mu.
+				m.mu.Lock()
+				if m.sessions[s.Token] == s {
+					delete(m.sessions, s.Token)
+					m.expired++
+				} else {
+					stale = false
+				}
+				m.mu.Unlock()
+			}
+			s.mu.Unlock()
+			if stale {
+				s.cancel()
+			}
+		}
+	}
+}
+
+// NextPage advances the session by up to n results, returning the global
+// rank of the page's first result (so concurrent pagers on one token get
+// disjoint, correctly numbered pages). The done flag reports exhaustion,
+// after which the caller should Remove the session.
+//
+// Two cancellation sources are kept distinct. When the paging request's
+// ctx dies mid-page, the response cannot be delivered, so the pulled
+// results are parked in a redelivery buffer — the enumerator's cursor is
+// destructive, and dropping them would silently lose ranks — and
+// ctx.Err() is returned; a retry redelivers them. When the session's own
+// context is cancelled (idle eviction, shutdown), ErrSessionNotFound is
+// returned rather than mislabelling the truncated stream as exhausted.
+func (s *Session) NextPage(ctx context.Context, n int) (start int, results []*core.Result, done bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start = s.emitted
+	for len(s.pending) > 0 && len(results) < n {
+		results = append(results, s.pending[0])
+		s.pending = s.pending[1:]
+	}
+	for len(results) < n && !s.done {
+		if s.ctx.Err() != nil {
+			s.pending = append(results, s.pending...)
+			return start, nil, false, ErrSessionNotFound
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		r, ok := s.enum.Next()
+		if !ok {
+			if s.ctx.Err() != nil {
+				s.pending = append(results, s.pending...)
+				return start, nil, false, ErrSessionNotFound
+			}
+			s.done = true
+			break
+		}
+		results = append(results, r)
+	}
+	s.last = time.Now()
+	if ctx.Err() != nil {
+		s.pending = append(results, s.pending...)
+		return start, nil, false, ctx.Err()
+	}
+	s.emitted += len(results)
+	if len(results) > 0 {
+		s.lastStart, s.lastPage = start, results
+	}
+	return start, results, s.done, nil
+}
+
+// Replay returns the most recent page again when from names its first
+// rank — the recovery path for a response lost after NextPage committed
+// it (connection dropped mid-write). Only one page of history is kept;
+// ok=false means from is neither the last page's start nor the current
+// cursor. A from equal to the current cursor returns an empty replay and
+// the caller should page normally.
+func (s *Session) Replay(from int) (start int, results []*core.Result, done, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.last = time.Now()
+	if s.lastPage != nil && from == s.lastStart {
+		return s.lastStart, s.lastPage, s.done && len(s.pending) == 0, true
+	}
+	if from == s.emitted {
+		return from, nil, false, true
+	}
+	return 0, nil, false, false
+}
+
+// Emitted returns how many results the session has produced so far.
+func (s *Session) Emitted() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.emitted
+}
+
+// Info returns the session's wire metadata.
+func (s *Session) Info() SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SessionInfo{
+		Session:     s.Token,
+		Emitted:     s.emitted,
+		Queued:      s.enum.Remaining(),
+		IdleSeconds: time.Since(s.last).Seconds(),
+	}
+}
+
+// newToken returns an opaque 128-bit resume token.
+func newToken() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("service: crypto/rand unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,286 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/hyper"
+)
+
+// EnumerateRequest is the body of POST /v1/enumerate. Exactly one of
+// Graph6, Edges or Hyperedges must be supplied (see the package doc for
+// the full API description).
+type EnumerateRequest struct {
+	Graph6     string   `json:"graph6,omitempty"`
+	N          int      `json:"n,omitempty"`
+	Edges      [][2]int `json:"edges,omitempty"`
+	Hyperedges [][]int  `json:"hyperedges,omitempty"`
+
+	Cost    string `json:"cost,omitempty"`
+	Domains []int  `json:"domains,omitempty"`
+	Bound   *int   `json:"bound,omitempty"`
+
+	PageSize   int  `json:"page_size,omitempty"`
+	MaxResults int  `json:"max_results,omitempty"`
+	Stream     bool `json:"stream,omitempty"`
+}
+
+// TriangulationJSON is the wire form of one core.Result.
+type TriangulationJSON struct {
+	Index int     `json:"index"`
+	Cost  float64 `json:"cost"`
+	Width int     `json:"width"`
+	Fill  int     `json:"fill"`
+	Bags  [][]int `json:"bags"`
+	Seps  [][]int `json:"separators"`
+}
+
+// GraphInfo describes the submitted graph.
+type GraphInfo struct {
+	N           int    `json:"n"`
+	M           int    `json:"m"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// SolverInfo reports the initialization statistics of the solver that
+// served the request (the "init" column of the paper's Table 2).
+type SolverInfo struct {
+	MinimalSeparators int   `json:"minimal_separators"`
+	PMCs              int   `json:"pmcs"`
+	FullBlocks        int   `json:"full_blocks"`
+	InitMillis        int64 `json:"init_ms"`
+}
+
+// EnumerateResponse is the body returned by POST /v1/enumerate and, with
+// only Session/Done/Results set, by GET /v1/sessions/{token}/next.
+type EnumerateResponse struct {
+	Session  string              `json:"session,omitempty"`
+	Done     bool                `json:"done"`
+	CacheHit bool                `json:"cache_hit,omitempty"`
+	Cost     string              `json:"cost,omitempty"`
+	Graph    *GraphInfo          `json:"graph,omitempty"`
+	Solver   *SolverInfo         `json:"solver,omitempty"`
+	Results  []TriangulationJSON `json:"results"`
+}
+
+// SessionInfo is the body of GET /v1/sessions/{token}.
+type SessionInfo struct {
+	Session     string  `json:"session"`
+	Emitted     int     `json:"emitted"`
+	Queued      int     `json:"queued_partitions"`
+	IdleSeconds float64 `json:"idle_seconds"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Requests      uint64       `json:"requests"`
+	Pool          PoolStats    `json:"pool"`
+	Sessions      SessionStats `json:"sessions"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// resultJSON converts one enumeration result for the wire.
+func resultJSON(g *graph.Graph, index int, r *core.Result) TriangulationJSON {
+	bags := make([][]int, len(r.Bags))
+	for i, b := range r.Bags {
+		bags[i] = b.Slice()
+	}
+	seps := make([][]int, len(r.Seps))
+	for i, s := range r.Seps {
+		seps[i] = s.Slice()
+	}
+	return TriangulationJSON{
+		Index: index,
+		Cost:  r.Cost,
+		Width: r.Tree.Width(),
+		Fill:  r.H.NumEdges() - g.NumEdges(),
+		Bags:  bags,
+		Seps:  seps,
+	}
+}
+
+// buildGraph materializes the request's graph plus, for hypergraph input,
+// the hypergraph whose primal it is. Errors are client errors (400).
+func buildGraph(req *EnumerateRequest, maxVertices int) (*graph.Graph, *hyper.Hypergraph, error) {
+	hasG6 := req.Graph6 != ""
+	hasHyper := len(req.Hyperedges) > 0
+	// "n" alone is a valid edge-list source — the edgeless graph on n
+	// vertices — but when another source is present, n merely names that
+	// source's universe size.
+	hasEdges := len(req.Edges) > 0 || (req.N > 0 && !hasG6 && !hasHyper)
+	sources := 0
+	for _, has := range []bool{hasG6, hasHyper, hasEdges} {
+		if has {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, nil, fmt.Errorf("exactly one of graph6, edges or hyperedges (or n for an edgeless graph) must be given")
+	}
+
+	if hasG6 {
+		// Bound the claimed vertex count from the cheap header before the
+		// O(n²) decode runs — a request body must not be able to buy an
+		// oversized parse it could never enumerate.
+		for _, line := range strings.Split(req.Graph6, "\n") {
+			line = strings.TrimSpace(line)
+			line = strings.TrimPrefix(line, ">>graph6<<")
+			if line == "" {
+				continue
+			}
+			n, err := graph.Graph6HeaderN(line)
+			if err != nil {
+				return nil, nil, fmt.Errorf("graph6: %v", err)
+			}
+			if n > maxVertices {
+				return nil, nil, fmt.Errorf("graph has %d vertices; the limit is %d", n, maxVertices)
+			}
+		}
+		gs, err := graph.ReadGraph6(strings.NewReader(req.Graph6))
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph6: %v", err)
+		}
+		if len(gs) != 1 {
+			return nil, nil, fmt.Errorf("graph6: want exactly one graph, got %d", len(gs))
+		}
+		return gs[0], nil, nil
+	}
+
+	universe := func(max int) (int, error) {
+		n := req.N
+		if n == 0 {
+			n = max + 1
+		}
+		if max >= n {
+			return 0, fmt.Errorf("vertex %d out of range for n=%d", max, n)
+		}
+		if n > maxVertices {
+			return 0, fmt.Errorf("graph has %d vertices; the limit is %d", n, maxVertices)
+		}
+		return n, nil
+	}
+
+	if len(req.Hyperedges) > 0 {
+		max := -1
+		for _, e := range req.Hyperedges {
+			if len(e) == 0 {
+				return nil, nil, fmt.Errorf("empty hyperedge")
+			}
+			for _, v := range e {
+				if v < 0 {
+					return nil, nil, fmt.Errorf("negative vertex %d", v)
+				}
+				if v > max {
+					max = v
+				}
+			}
+		}
+		n, err := universe(max)
+		if err != nil {
+			return nil, nil, err
+		}
+		h := hyper.New(n)
+		for _, e := range req.Hyperedges {
+			h.AddEdge(e...)
+		}
+		return h.Primal(), h, nil
+	}
+
+	max := -1
+	for _, e := range req.Edges {
+		if e[0] < 0 || e[1] < 0 {
+			return nil, nil, fmt.Errorf("negative vertex in edge [%d,%d]", e[0], e[1])
+		}
+		if e[0] == e[1] {
+			return nil, nil, fmt.Errorf("self loop [%d,%d]", e[0], e[1])
+		}
+		if e[0] > max {
+			max = e[0]
+		}
+		if e[1] > max {
+			max = e[1]
+		}
+	}
+	n, err := universe(max)
+	if err != nil {
+		return nil, nil, err
+	}
+	g := graph.New(n)
+	for _, e := range req.Edges {
+		g.AddEdge(e[0], e[1])
+	}
+	return g, nil, nil
+}
+
+// buildCost resolves the request's cost name to a cost.Cost plus the
+// canonical key fragment that, together with the graph fingerprint and
+// width bound, identifies the solver in the pool. Parameterized costs
+// (statespace domains, hypergraph edge sets) contribute their parameters
+// to the key, since they change the ranking.
+func buildCost(req *EnumerateRequest, g *graph.Graph, h *hyper.Hypergraph) (cost.Cost, string, error) {
+	name := req.Cost
+	if name == "" {
+		name = "width"
+	}
+	switch name {
+	case "width":
+		return cost.Width{}, "width", nil
+	case "fill":
+		return cost.FillIn{}, "fill", nil
+	case "lex", "width-fill":
+		return cost.LexWidthFill{}, "lex", nil
+	case "statespace":
+		if req.Domains != nil && len(req.Domains) != g.Universe() {
+			return nil, "", fmt.Errorf("domains has %d entries for %d vertices", len(req.Domains), g.Universe())
+		}
+		for _, d := range req.Domains {
+			if d < 1 {
+				return nil, "", fmt.Errorf("domain sizes must be positive")
+			}
+		}
+		key := "statespace"
+		if req.Domains != nil {
+			key = fmt.Sprintf("statespace%v", req.Domains)
+		}
+		return cost.TotalStateSpace{Domain: req.Domains}, key, nil
+	case "hypertree":
+		if h == nil {
+			return nil, "", fmt.Errorf("cost %q requires hyperedges input", name)
+		}
+		return h.HypertreeWidthCost(), "hypertree:" + hyperFingerprint(h), nil
+	case "fractional-htw":
+		if h == nil {
+			return nil, "", fmt.Errorf("cost %q requires hyperedges input", name)
+		}
+		return h.FractionalHypertreeWidthCost(), "fractional-htw:" + hyperFingerprint(h), nil
+	}
+	return nil, "", fmt.Errorf("unknown cost %q", name)
+}
+
+// hyperFingerprint hashes the hyperedge multiset (order-insensitively) so
+// that distinct hypergraphs sharing a primal graph get distinct solver
+// cache keys.
+func hyperFingerprint(h *hyper.Hypergraph) string {
+	keys := make([]string, 0, len(h.Edges()))
+	for _, e := range h.Edges() {
+		keys = append(keys, e.Key())
+	}
+	sort.Strings(keys)
+	hash := sha256.New()
+	for _, k := range keys {
+		hash.Write([]byte(k))
+		hash.Write([]byte{0})
+	}
+	return hex.EncodeToString(hash.Sum(nil)[:16])
+}

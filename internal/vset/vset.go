@@ -278,6 +278,11 @@ func (s Set) Slice() []int {
 	return out
 }
 
+// Words exposes the little-endian bitset words backing s, least
+// significant vertex first. The caller must not mutate the slice; it is
+// the zero-copy input to hashing (graph.Fingerprint).
+func (s Set) Words() []uint64 { return s.words }
+
 // Key returns a canonical string key for s, usable as a map key.
 // Two sets over the same universe have equal keys iff they are equal.
 func (s Set) Key() string {

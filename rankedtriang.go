@@ -24,6 +24,7 @@
 package rankedtriang
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/ckk"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/heur"
 	"repro/internal/hyper"
 	"repro/internal/jt"
+	"repro/internal/service"
 	"repro/internal/td"
 	"repro/internal/triang"
 	"repro/internal/vset"
@@ -132,6 +134,14 @@ func EdgeWeightCost(name string, weight func(u, v int) float64) Cost {
 // blocks once; all queries share them.
 func NewSolver(g *Graph, c Cost) *Solver { return core.NewSolver(g, c) }
 
+// NewSolverContext is NewSolver with cancellation: initialization aborts
+// with ctx's error when ctx is cancelled or times out. Long-lived callers
+// (the service layer, batch pipelines) use it so abandoned work stops
+// burning CPU.
+func NewSolverContext(ctx context.Context, g *Graph, c Cost) (*Solver, error) {
+	return core.NewSolverContext(ctx, g, c)
+}
+
 // NewBoundedSolver initializes a solver restricted to triangulations of
 // width at most b (Theorem 4.5 — no poly-MS assumption needed for the
 // guarantee).
@@ -206,3 +216,34 @@ func HeuristicWidth(g *Graph) int {
 func HeuristicTriangulation(g *Graph) *Graph {
 	return triang.LBTriang(g, heur.Order(g, heur.MinFill))
 }
+
+// Service is the ranked-enumeration HTTP service: a SolverPool cache, a
+// SessionManager of resumable enumeration streams, and the HTTP/JSON API
+// (see repro/internal/service's package doc). cmd/rankedtriangd is the
+// daemon around it.
+type Service = service.Server
+
+// ServiceConfig tunes a Service (cache size, session limits, admission
+// concurrency, idle eviction).
+type ServiceConfig = service.Config
+
+// SolverPool deduplicates and LRU-caches solver initializations keyed by
+// canonical graph fingerprint, cost and width bound.
+type SolverPool = service.SolverPool
+
+// SolverKey identifies one cached solver in a SolverPool.
+type SolverKey = service.SolverKey
+
+// SessionManager parks live enumeration streams behind opaque resume
+// tokens with idle eviction.
+type SessionManager = service.SessionManager
+
+// NewService returns a ready-to-serve ranked-enumeration HTTP handler.
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// NewSolverPool returns a pool caching up to capacity initialized solvers.
+func NewSolverPool(capacity int) *SolverPool { return service.NewSolverPool(capacity) }
+
+// Fingerprint returns the canonical hash of the labeled graph — the cache
+// key the service layer uses to deduplicate solver initializations.
+func Fingerprint(g *Graph) string { return g.Fingerprint() }
