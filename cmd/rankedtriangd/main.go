@@ -40,6 +40,7 @@ func main() {
 		maxVertices   = flag.Int("max-vertices", 128, "reject graphs larger than this")
 		initTimeout   = flag.Duration("init-timeout", 60*time.Second, "per-graph solver initialization budget")
 		streamTimeout = flag.Duration("stream-timeout", 5*time.Minute, "total lifetime budget of one NDJSON stream")
+		fullResolve   = flag.Bool("full-resolve", false, "disable the incremental DP: every branch re-solves from scratch (A/B debugging; identical output)")
 		drain         = flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
 	)
 	flag.Parse()
@@ -53,6 +54,7 @@ func main() {
 		MaxVertices:   *maxVertices,
 		InitTimeout:   *initTimeout,
 		StreamTimeout: *streamTimeout,
+		FullResolve:   *fullResolve,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

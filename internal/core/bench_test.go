@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func delayBenchGraph(n int, p float64, seed int64) *graph.Graph {
+	return gen.ConnectedGNP(rand.New(rand.NewSource(seed)), n, p)
+}
+
+// BenchmarkEnumerateDelay measures the time per Next() call after the
+// first result — the paper's "delay" — on paper-style G(n, p) instances.
+// Each iteration advances a warm enumeration by one result; exhausted
+// enumerations are restarted (and their first result consumed) off the
+// clock. This is the headline number the incremental constraint-aware DP
+// targets: every Next() solves one Lawler–Murty branch per fresh
+// separator of the popped result.
+func BenchmarkEnumerateDelay(b *testing.B) {
+	cases := []struct {
+		name string
+		n    int
+		p    float64
+		c    cost.Cost
+	}{
+		{"n14p30width", 14, 0.30, cost.Width{}},
+		{"n16p25width", 16, 0.25, cost.Width{}},
+		{"n16p25fill", 16, 0.25, cost.FillIn{}},
+	}
+	for _, tc := range cases {
+		for _, mode := range []string{"incremental", "fullresolve"} {
+			b.Run(tc.name+"/"+mode, func(b *testing.B) {
+				g := delayBenchGraph(tc.n, tc.p, 7)
+				s := NewSolver(g, tc.c)
+				s.SetFullResolve(mode == "fullresolve")
+				e := s.Enumerate()
+				if _, ok := e.Next(); !ok {
+					b.Fatal("empty enumeration")
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, ok := e.Next(); !ok {
+						b.StopTimer()
+						e = s.Enumerate()
+						if _, ok := e.Next(); !ok {
+							b.Fatal("empty enumeration")
+						}
+						b.StartTimer()
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkMinTriangConstrained measures one constrained re-solve — the
+// unit of work of every Lawler–Murty branch.
+func BenchmarkMinTriangConstrained(b *testing.B) {
+	g := delayBenchGraph(16, 0.25, 7)
+	s := NewSolver(g, cost.Width{})
+	r, err := s.MinTriang(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(r.Seps) < 2 {
+		b.Fatal("want at least two separators")
+	}
+	cons := (&cost.Constraints{}).WithInclude(r.Seps[0]).WithExclude(r.Seps[1])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.MinTriang(cons); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,97 +2,308 @@ package core
 
 import (
 	"repro/internal/cost"
-	"repro/internal/graph"
+	"repro/internal/intern"
 	"repro/internal/vset"
 )
 
-// compiledConstraints is the DP-ready form of κ[I,X] (Section 6.1): the
-// non-edge pairs of every constraint separator get global indices, each
-// block solution carries a coverage bitmask over those indices, and the
-// clique test for a constraint at a block (S, C) treats pairs inside S as
-// present — they are edges of the realization R(S, C), which is exactly
-// what makes the local check agree with the global semantics (Lemma 6.2).
-type compiledConstraints struct {
-	words int
-	pairs []conPair
-	cons  []conInfo
+// sepCov is the precomputed constraint geometry of one separator: its
+// missing (non-edge) pairs and, precomputation budget permitting, for
+// every PMC and every potential block separator a bitmask over those
+// pairs. The DP-time clique test for a constraint on this separator
+// (Section 6.1, Lemma 6.2) then degenerates to a handful of word ORs —
+// no per-pair set probes in the hot loop. Built lazily (once per
+// separator per solver) because only separators that actually appear in
+// constraints need it.
+//
+// The two tables together cost (#pmcs + #seps + 1) × words words per
+// separator — quadratic over separator-rich graphs — so they are only
+// materialized while the solver's covBudget lasts. Past the budget a
+// sepCov stays "lean" (byPMC/bySep nil) and the same masks are derived
+// on demand from the pair list: exactly as correct, per-solve instead of
+// per-solver memory, a constant factor slower.
+type sepCov struct {
+	npairs int
+	words  int      // ceil(npairs/64); the constraint's slot width
+	pairs  [][2]int // the missing pairs themselves (lean-path source)
+	all    []uint64 // npairs ones — the "is a clique" target
+	byPMC  []uint64 // pmcID*words+w: pairs covered by that PMC's bag
+	bySep  []uint64 // (sepID+1)*words+w: pairs inside that block separator
+	//                 slot 0 is the empty separator (the top block)
 }
 
-type conPair struct {
-	u, v int
-	con  int
+// markPairs sets, in dst[base:], the bits of the pairs fully inside
+// holder.
+func (cov *sepCov) markPairs(dst []uint64, base int, holder vset.Set) {
+	for k, p := range cov.pairs {
+		if holder.Contains(p[0]) && holder.Contains(p[1]) {
+			dst[base+k/64] |= 1 << uint(k%64)
+		}
+	}
+}
+
+// buildSepCovLean fills only the pair list and clique target of cov —
+// the parts every mode needs and the whole of lean mode.
+func (s *Solver) buildSepCovLean(cov *sepCov, sep vset.Set) {
+	vs := sep.Slice()
+	for i := 0; i < len(vs); i++ {
+		for j := i + 1; j < len(vs); j++ {
+			if !s.g.HasEdge(vs[i], vs[j]) {
+				cov.pairs = append(cov.pairs, [2]int{vs[i], vs[j]})
+			}
+		}
+	}
+	cov.npairs = len(cov.pairs)
+	cov.words = (len(cov.pairs) + 63) / 64
+	cov.all = make([]uint64, cov.words)
+	for k := range cov.pairs {
+		cov.all[k/64] |= 1 << uint(k%64)
+	}
+}
+
+// buildSepCov fills cov for sep against the solver's PMC and separator
+// tables, charging the precomputed tables to the solver's budget.
+func (s *Solver) buildSepCov(cov *sepCov, sep vset.Set) {
+	s.buildSepCovLean(cov, sep)
+	tables := int64(len(s.pmcs)+s.sepTab.Len()+1) * int64(cov.words)
+	if s.covBudget.Add(-tables) < 0 {
+		// Lean mode: masks derived from pairs on demand. Refund the
+		// charge so one oversized separator doesn't disable
+		// precomputation for every smaller one after it.
+		s.covBudget.Add(tables)
+		return
+	}
+	cov.byPMC = make([]uint64, len(s.pmcs)*cov.words)
+	for pi, omega := range s.pmcs {
+		cov.markPairs(cov.byPMC, pi*cov.words, omega)
+	}
+	cov.bySep = make([]uint64, (s.sepTab.Len()+1)*cov.words)
+	for si, t := range s.seps {
+		cov.markPairs(cov.bySep, (si+1)*cov.words, t)
+	}
+}
+
+// compiledConstraints is the DP-ready form of κ[I,X]: one word-aligned
+// coverage slot per constraint, each backed by its separator's
+// precomputed sepCov, plus the two interned-ID masks the incremental
+// solver branches on. dirty marks the blocks whose span contains some
+// constraint separator — the only blocks whose DP solution can deviate
+// from the unconstrained baseline — and includeIDs marks the separator
+// IDs of the inclusion side so the enumerator finds the fresh separators
+// of a popped result without hashing set keys.
+type compiledConstraints struct {
+	words      int // total coverage words across constraints
+	cons       []conInfo
+	dirty      intern.Bitset // over block indices
+	includeIDs intern.Bitset // over separator IDs
 }
 
 type conInfo struct {
-	span    vset.Set
+	cov     *sepCov
+	cone    intern.Bitset // blocks whose span contains the separator
+	sepID   int           // interned separator ID, or -1 for extras
+	off     int           // word offset of this constraint's coverage slot
 	include bool
-	first   int // index of first pair in pairs
-	count   int
 }
 
-// compileConstraints indexes the non-edge pairs of each constraint
-// separator. Pairs that are edges of g are always present in any
-// triangulation and are omitted.
-func compileConstraints(g *graph.Graph, c *cost.Constraints) *compiledConstraints {
+// compileConstraints builds the compiled form from the public constraint
+// pair. Constraint separators that are not minimal separators of g
+// (possible through the public API) get an on-demand sepCov and a span
+// scan for their cone.
+func (s *Solver) compileConstraints(c *cost.Constraints) *compiledConstraints {
 	if c.IsEmpty() {
 		return nil
 	}
-	cc := &compiledConstraints{}
-	add := func(s vset.Set, include bool) {
-		info := conInfo{span: s, include: include, first: len(cc.pairs)}
-		vs := s.Slice()
-		for i := 0; i < len(vs); i++ {
-			for j := i + 1; j < len(vs); j++ {
-				if !g.HasEdge(vs[i], vs[j]) {
-					cc.pairs = append(cc.pairs, conPair{u: vs[i], v: vs[j], con: len(cc.cons)})
-				}
-			}
-		}
-		info.count = len(cc.pairs) - info.first
-		cc.cons = append(cc.cons, info)
+	cc := &compiledConstraints{
+		dirty:      intern.NewBitset(len(s.blocks)),
+		includeIDs: intern.NewBitset(s.sepTab.Len()),
 	}
-	for _, s := range c.Include {
-		add(s, true)
+	for _, sep := range c.Include {
+		s.addConstraint(cc, sep, true)
 	}
-	for _, s := range c.Exclude {
-		add(s, false)
+	for _, sep := range c.Exclude {
+		s.addConstraint(cc, sep, false)
 	}
-	cc.words = (len(cc.pairs) + 63) / 64
 	return cc
 }
 
-// addBagPairs marks every constraint pair contained in the bag omega.
-func (cc *compiledConstraints) addBagPairs(mask []uint64, omega vset.Set) {
-	for i, p := range cc.pairs {
-		if omega.Contains(p.u) && omega.Contains(p.v) {
-			mask[i/64] |= 1 << uint(i%64)
+// addConstraint appends one separator's constraint to cc.
+func (s *Solver) addConstraint(cc *compiledConstraints, sep vset.Set, include bool) {
+	info := conInfo{sepID: -1}
+	if id, ok := s.sepTab.Lookup(sep); ok {
+		info.cov = s.sepCovFor(id)
+		info.cone = s.dirtyBySep[id]
+		info.sepID = id
+		if include {
+			cc.includeIDs.Set(id)
+		}
+	} else {
+		info.cov, info.cone = s.extraCovFor(sep)
+	}
+	info.include = include
+	info.off = cc.words
+	cc.words += info.cov.words
+	cc.dirty.Or(info.cone)
+	cc.cons = append(cc.cons, info)
+}
+
+// release drops the materialized dirty/includeIDs masks — O(#blocks +
+// #seps) bits per compiled set — once a branch has been solved and only
+// waits in the partition queue. rematerialize rebuilds both from the
+// cons list (each entry keeps its cone and separator ID), so a queued
+// partition costs O(constraint depth) memory like the uncompiled
+// representation did.
+func (cc *compiledConstraints) release() {
+	cc.dirty = nil
+	cc.includeIDs = nil
+}
+
+func (s *Solver) rematerialize(cc *compiledConstraints) {
+	if cc == nil || cc.dirty != nil {
+		return
+	}
+	cc.dirty = intern.NewBitset(len(s.blocks))
+	cc.includeIDs = intern.NewBitset(s.sepTab.Len())
+	for i := range cc.cons {
+		info := &cc.cons[i]
+		cc.dirty.Or(info.cone)
+		if info.include && info.sepID >= 0 {
+			cc.includeIDs.Set(info.sepID)
 		}
 	}
 }
 
-// check evaluates every constraint whose separator lies inside the block
-// span: inclusion separators must already be cliques of the block's
-// triangulation (pairs covered by a bag or inside the block separator),
-// exclusion separators must not. It returns false when some constraint is
-// violated, i.e. κ[I,X] = ∞ for this sub-decomposition.
-func (cc *compiledConstraints) check(span, blockSep vset.Set, mask []uint64) bool {
-	for _, info := range cc.cons {
-		if !info.span.SubsetOf(span) {
+// extendConstraints returns cc (nil for the empty pair) extended with one
+// more constraint on an interned separator — the single-separator branch
+// delta of the Lawler–Murty split. The parent's coverage layout is a
+// prefix of the child's; its dirty cone is a precomputed mask OR rather
+// than a recompile.
+func (s *Solver) extendConstraints(cc *compiledConstraints, sepID int, include bool) *compiledConstraints {
+	out := &compiledConstraints{}
+	if cc == nil {
+		out.dirty = intern.NewBitset(len(s.blocks))
+		out.includeIDs = intern.NewBitset(s.sepTab.Len())
+	} else {
+		out.words = cc.words
+		out.cons = append(make([]conInfo, 0, len(cc.cons)+1), cc.cons...)
+		out.dirty = cc.dirty.Clone()
+		out.includeIDs = cc.includeIDs.Clone()
+	}
+	cov := s.sepCovFor(sepID)
+	out.cons = append(out.cons, conInfo{
+		cov:     cov,
+		cone:    s.dirtyBySep[sepID],
+		sepID:   sepID,
+		off:     out.words,
+		include: include,
+	})
+	out.words += cov.words
+	out.dirty.Or(s.dirtyBySep[sepID])
+	if include {
+		out.includeIDs.Set(sepID)
+	}
+	return out
+}
+
+// bagMask returns the full coverage-mask contribution of the PMC Ω with
+// index pmcID under cc — the concatenation, per constraint slot, of the
+// pairs that PMC's bag covers. Memoized in the call scratch: a PMC is a
+// candidate at many blocks of one solve, so later uses are a single
+// contiguous OR.
+func (cc *compiledConstraints) bagMask(sc *solveScratch, pmcID int, omega vset.Set) []uint64 {
+	m := sc.bagArena[pmcID*cc.words : (pmcID+1)*cc.words]
+	if !sc.bagDone[pmcID] {
+		for w := range m {
+			m[w] = 0
+		}
+		for i := range cc.cons {
+			info := &cc.cons[i]
+			cov := info.cov
+			if cov.byPMC == nil {
+				cov.markPairs(m[info.off:], 0, omega) // lean sepCov
+				continue
+			}
+			base := pmcID * cov.words
+			for w := 0; w < cov.words; w++ {
+				m[info.off+w] |= cov.byPMC[base+w]
+			}
+		}
+		sc.bagDone[pmcID] = true
+	}
+	return m
+}
+
+// activeCon is one constraint applicable at the block being solved, with
+// its clique target already reduced by the block separator: need holds
+// the pairs a candidate's subtree coverage must supply. Pairs inside the
+// block separator are edges of the realization R(S, C) and count as
+// covered — which is exactly what makes the local check agree with the
+// global semantics, Lemma 6.2.
+type activeCon struct {
+	need    []uint64
+	off     int
+	words   int
+	include bool
+}
+
+// activeAt collects into sc the constraints whose separator lies inside
+// the span of block bi (precomputed as the constraint's cone), hoisting
+// the cone test and the block-separator reduction out of the
+// per-candidate loop.
+func (cc *compiledConstraints) activeAt(bi, blockSepID int, blockSep vset.Set, sc *solveScratch) []activeCon {
+	act := sc.act[:0]
+	arena := sc.needArena[:0] // cap ≥ cc.words: appends never reallocate
+	for i := range cc.cons {
+		info := &cc.cons[i]
+		if !info.cone.Has(bi) {
 			continue
 		}
-		clique := true
-		for i := info.first; i < info.first+info.count; i++ {
-			if mask[i/64]&(1<<uint(i%64)) != 0 {
-				continue
+		cov := info.cov
+		start := len(arena)
+		if cov.bySep != nil {
+			bs := (blockSepID + 1) * cov.words
+			for w := 0; w < cov.words; w++ {
+				arena = append(arena, cov.all[w]&^cov.bySep[bs+w])
 			}
-			p := cc.pairs[i]
-			if blockSep.Contains(p.u) && blockSep.Contains(p.v) {
-				continue
+		} else {
+			// Lean sepCov: derive the block-separator reduction from the
+			// pair list.
+			arena = append(arena, cov.all...)
+			need := arena[start:]
+			for k, p := range cov.pairs {
+				if blockSep.Contains(p[0]) && blockSep.Contains(p[1]) {
+					need[k/64] &^= 1 << uint(k%64)
+				}
 			}
-			clique = false
-			break
 		}
-		if clique != info.include {
+		act = append(act, activeCon{
+			need:    arena[start:],
+			off:     info.off,
+			words:   cov.words,
+			include: info.include,
+		})
+	}
+	sc.act = act
+	sc.needArena = arena[:0]
+	return act
+}
+
+// checkActive evaluates the block's active constraints against one
+// candidate's coverage mask: inclusion separators must already be cliques
+// of the candidate's sub-triangulation (every missing pair covered by a
+// bag or inside the block separator), exclusion separators must not. It
+// returns false when some constraint is violated, i.e. κ[I,X] = ∞ for
+// this sub-decomposition.
+func checkActive(act []activeCon, mask []uint64) bool {
+	for i := range act {
+		a := &act[i]
+		clique := true
+		for w := 0; w < a.words; w++ {
+			if a.need[w]&^mask[a.off+w] != 0 {
+				clique = false
+				break
+			}
+		}
+		if clique != a.include {
 			return false
 		}
 	}

@@ -4,9 +4,6 @@ import (
 	"container/heap"
 	"context"
 	"sync"
-
-	"repro/internal/cost"
-	"repro/internal/vset"
 )
 
 // Enumerator streams the minimal triangulations of a graph by increasing
@@ -17,7 +14,9 @@ import (
 // constraint pair [I, X] held in a priority queue together with that
 // partition's cheapest member; popping a partition emits its member and
 // splits the remainder Lawler–Murty style over the member's minimal
-// separators.
+// separators. Constraint pairs are kept in compiled form and extended by
+// single-separator deltas, so a branch solve never recompiles its
+// ancestors' constraints and reuses their precomputed dirty cones.
 type Enumerator struct {
 	s       *Solver
 	ctx     context.Context // cancellation for the branch-solving hot loop
@@ -27,9 +26,9 @@ type Enumerator struct {
 }
 
 type partition struct {
-	res  *Result
-	cons *cost.Constraints
-	seq  int
+	res *Result
+	cc  *compiledConstraints // nil for the unconstrained root partition
+	seq int
 }
 
 // partitionQueue is a min-heap on (cost, insertion sequence).
@@ -89,15 +88,15 @@ func (s *Solver) EnumerateParallelContext(ctx context.Context, workers int) *Enu
 	e := &Enumerator{s: s, ctx: ctx, workers: workers}
 	if ctx.Err() == nil {
 		if r, err := s.MinTriang(nil); err == nil {
-			e.push(r, &cost.Constraints{})
+			e.push(r, nil)
 		}
 	}
 	return e
 }
 
-func (e *Enumerator) push(r *Result, cons *cost.Constraints) {
+func (e *Enumerator) push(r *Result, cc *compiledConstraints) {
 	e.seq++
-	heap.Push(&e.queue, &partition{res: r, cons: cons, seq: e.seq})
+	heap.Push(&e.queue, &partition{res: r, cc: cc, seq: e.seq})
 }
 
 // Next returns the next minimal triangulation in non-decreasing cost
@@ -109,31 +108,35 @@ func (e *Enumerator) Next() (*Result, bool) {
 		return nil, false
 	}
 	p := heap.Pop(&e.queue).(*partition)
+	// Queued partitions carry their constraint masks in released form
+	// (O(depth) memory); rebuild them before branching on this one.
+	e.s.rematerialize(p.cc)
 
 	// Split the remainder of the partition. Let S1..Sk be the minimal
 	// separators of the popped triangulation outside I; branch i forces
 	// S1..S_{i-1} in and Si out. Note the loop runs to k (not the paper's
 	// k-1; see DESIGN.md — the k-th branch "all but Sk" is nonempty in
-	// general and dropping it loses completeness).
-	inI := map[string]bool{}
-	for _, s := range p.cons.Include {
-		inI[s.Key()] = true
-	}
-	var fresh []vset.Set
-	for _, s := range p.res.Seps {
-		if !inI[s.Key()] {
-			fresh = append(fresh, s)
+	// general and dropping it loses completeness). Separators are compared
+	// by interned ID against the partition's include mask — no set keys
+	// are hashed on this path.
+	var fresh []int
+	for _, id := range p.res.sepIDs {
+		if p.cc == nil || !p.cc.includeIDs.Has(id) {
+			fresh = append(fresh, id)
 		}
 	}
-	// Build the branch constraint sets, then solve them (in parallel when
-	// workers > 1) and push any nonempty partitions in branch order, which
-	// keeps the queue state — and hence the output — identical to the
-	// sequential run.
-	branches := make([]*cost.Constraints, len(fresh))
-	cons := p.cons
-	for i, si := range fresh {
-		branches[i] = cons.WithExclude(si)
-		cons = cons.WithInclude(si)
+	// Build each branch's constraints as a delta on the partition's: one
+	// appended exclusion over the accumulated inclusions. The branches are
+	// then solved (in parallel when workers > 1) and pushed in branch
+	// order, which keeps the queue state — and hence the output —
+	// identical to the sequential run.
+	branches := make([]*compiledConstraints, len(fresh))
+	cc := p.cc
+	for i, id := range fresh {
+		branches[i] = e.s.extendConstraints(cc, id, false)
+		if i+1 < len(fresh) {
+			cc = e.s.extendConstraints(cc, id, true)
+		}
 	}
 	results := make([]*Result, len(branches))
 	if e.workers <= 1 || len(branches) <= 1 {
@@ -141,7 +144,7 @@ func (e *Enumerator) Next() (*Result, bool) {
 			if e.ctx.Err() != nil {
 				break
 			}
-			if r, err := e.s.MinTriang(b); err == nil {
+			if r, err := e.s.minTriangCompiled(b); err == nil {
 				results[i] = r
 			}
 		}
@@ -156,7 +159,7 @@ func (e *Enumerator) Next() (*Result, bool) {
 					if e.ctx.Err() != nil {
 						continue
 					}
-					if r, err := e.s.MinTriang(branches[i]); err == nil {
+					if r, err := e.s.minTriangCompiled(branches[i]); err == nil {
 						results[i] = r
 					}
 				}
@@ -170,6 +173,7 @@ func (e *Enumerator) Next() (*Result, bool) {
 	}
 	for i, r := range results {
 		if r != nil {
+			branches[i].release()
 			e.push(r, branches[i])
 		}
 	}
@@ -183,7 +187,15 @@ func (e *Enumerator) Remaining() int { return len(e.queue) }
 // TopK returns up to k minimal triangulations of the solver's graph by
 // increasing cost.
 func (s *Solver) TopK(k int) []*Result {
-	e := s.Enumerate()
+	return s.TopKContext(context.Background(), k, 1)
+}
+
+// TopKContext returns up to k minimal triangulations by increasing cost,
+// solving Lawler–Murty branches with the given worker count (values < 2
+// mean sequential) and stopping early — possibly short of k results —
+// once ctx is cancelled.
+func (s *Solver) TopKContext(ctx context.Context, k, workers int) []*Result {
+	e := s.EnumerateParallelContext(ctx, workers)
 	var out []*Result
 	for len(out) < k {
 		r, ok := e.Next()

@@ -9,11 +9,13 @@ import (
 	"context"
 	"errors"
 	"math"
-	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cost"
 	"repro/internal/graph"
+	"repro/internal/intern"
 	"repro/internal/minsep"
 	"repro/internal/pmc"
 	"repro/internal/td"
@@ -29,6 +31,10 @@ type Result struct {
 	Bags []vset.Set
 	Seps []vset.Set
 	Cost float64
+
+	// sepIDs are the solver-interned IDs of Seps (aligned), letting the
+	// enumerator branch on separator identity without hashing set keys.
+	sepIDs []int
 }
 
 // candidate is one PMC usable at a block, with the blocks of its
@@ -36,6 +42,7 @@ type Result struct {
 // the input graph, Theorem 5.4, so they index into Solver.blocks).
 type candidate struct {
 	omega    vset.Set
+	pmcID    int // index of omega in Solver.pmcs
 	children []int
 }
 
@@ -51,6 +58,13 @@ type blockData struct {
 // separators, the potential maximal cliques, and the full-block DAG. The
 // paper computes these once and shares them across all MinTriang
 // invocations of the enumeration (Section 7.1); Solver does the same.
+//
+// On top of the static structures the solver keeps the unconstrained
+// baseline DP solved once at init. A constrained MinTriang call then
+// re-solves only the "dirty cone" of the block DAG — the upward-closed
+// set of blocks whose span contains some constraint separator — and
+// reuses the baseline solution everywhere else (see DESIGN.md,
+// "Incremental constraint-aware DP").
 type Solver struct {
 	g      *graph.Graph
 	c      cost.Cost
@@ -59,6 +73,30 @@ type Solver struct {
 	seps   []vset.Set
 	pmcs   []vset.Set
 	blocks []blockData // sorted by |span|; the last entry is the top level
+
+	// Interned-ID structures, built once at init.
+	sepTab     *intern.Table   // dense separator IDs, aligned with seps
+	blockSepID []int           // sep ID of each block's S; -1 when S = ∅
+	dirtyBySep []intern.Bitset // per sep ID: blocks whose span contains it
+	base       []blockSol      // unconstrained baseline DP
+
+	// Lazily built constraint geometry (see sepCov): one entry per
+	// separator ID, plus an escape hatch for non-minimal-separator
+	// constraint sets arriving through the public API. covBudget caps, in
+	// words, the precomputed per-separator tables; once spent, further
+	// sepCovs are built lean (masks derived from pair lists on demand),
+	// bounding the solver's memory on separator-rich graphs.
+	sepCovs   []sepCovEntry
+	covBudget atomic.Int64
+	extraMu   sync.Mutex
+	extras    map[string]*extraCov
+
+	fullResolve bool      // solve every block from scratch (oracle/ablation)
+	scratch     sync.Pool // *solveScratch, reused across constrained solves
+
+	statSolves atomic.Uint64 // constrained solves served incrementally
+	statDirty  atomic.Uint64 // blocks re-solved across those calls
+	statReused atomic.Uint64 // blocks reused from the baseline
 
 	// InitDuration records the time spent computing separators, PMCs and
 	// the block structure — the "init" column of the paper's Table 2.
@@ -132,6 +170,9 @@ func newSolver(ctx context.Context, g *graph.Graph, c cost.Cost, bound int) (*So
 	if err := s.buildBlocks(ctx); err != nil {
 		return nil, err
 	}
+	if err := s.buildIncremental(ctx); err != nil {
+		return nil, err
+	}
 	s.InitDuration = time.Since(start)
 	return s, nil
 }
@@ -159,11 +200,11 @@ func (s *Solver) buildBlocks(ctx context.Context) error {
 			return err
 		}
 		bd := &s.blocks[i]
-		for _, omega := range s.pmcs {
+		for pi, omega := range s.pmcs {
 			if !omega.SubsetOf(bd.span) || !bd.block.S.ProperSubsetOf(omega) {
 				continue
 			}
-			cand := candidate{omega: omega}
+			cand := candidate{omega: omega, pmcID: pi}
 			ok := true
 			for _, ci := range g.ComponentsWithin(bd.span.Diff(omega)) {
 				si := g.NeighborsOfSet(ci).Intersect(bd.span)
@@ -186,6 +227,112 @@ func (s *Solver) buildBlocks(ctx context.Context) error {
 	return nil
 }
 
+// buildIncremental finishes initialization: it interns the separators,
+// maps each block to its separator ID, precomputes for every separator
+// the dirty cone it induces (the blocks whose span contains it — exactly
+// the blocks a constraint on that separator can re-rank), and solves the
+// unconstrained baseline DP once. Every later constrained MinTriang call
+// re-solves only a union of these cones.
+func (s *Solver) buildIncremental(ctx context.Context) error {
+	s.sepTab = intern.FromSets(s.seps)
+	s.blockSepID = make([]int, len(s.blocks))
+	for i := range s.blocks {
+		s.blockSepID[i] = -1
+		if sp := s.blocks[i].block.S; !sp.IsEmpty() {
+			if id, ok := s.sepTab.Lookup(sp); ok {
+				s.blockSepID[i] = id
+			}
+		}
+	}
+	s.dirtyBySep = make([]intern.Bitset, s.sepTab.Len())
+	for id := range s.dirtyBySep {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		mask := intern.NewBitset(len(s.blocks))
+		sep := s.sepTab.Set(id)
+		for bi := range s.blocks {
+			if sep.SubsetOf(s.blocks[bi].span) {
+				mask.Set(bi)
+			}
+		}
+		s.dirtyBySep[id] = mask
+	}
+	// Baseline DP (lines 3–6 of Figure 3, unconstrained). Solved once;
+	// constrained calls start from these solutions.
+	s.base = make([]blockSol, len(s.blocks))
+	sc := &solveScratch{sols: s.base}
+	for i := range s.blocks {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		s.base[i] = s.solveBlock(i, nil, sc, nil)
+	}
+	s.sepCovs = make([]sepCovEntry, s.sepTab.Len())
+	s.covBudget.Store(sepCovBudgetWords)
+	s.extras = make(map[string]*extraCov)
+	s.scratch.New = func() any {
+		return &solveScratch{
+			sols:    make([]blockSol, len(s.blocks)),
+			cov:     make([][]uint64, len(s.blocks)),
+			changed: make([]bool, len(s.blocks)),
+		}
+	}
+	return nil
+}
+
+// sepCovBudgetWords bounds the precomputed sepCov tables per solver at
+// 64 MiB of mask words; the tables are quadratic in the separator count,
+// so without a cap a separator-rich graph would pin hundreds of
+// megabytes on one pool-cached solver. Past the budget, sepCovs fall
+// back to the (exact, somewhat slower) lean path.
+const sepCovBudgetWords = 8 << 20
+
+// sepCovEntry guards one separator's lazily built constraint geometry;
+// enumeration workers race on the first touch.
+type sepCovEntry struct {
+	once sync.Once
+	cov  sepCov
+}
+
+// sepCovFor returns the constraint geometry of an interned separator,
+// building it on first use.
+func (s *Solver) sepCovFor(id int) *sepCov {
+	e := &s.sepCovs[id]
+	e.once.Do(func() { s.buildSepCov(&e.cov, s.sepTab.Set(id)) })
+	return &e.cov
+}
+
+// extraCov is the constraint geometry plus dirty cone of a constraint
+// separator that is not a minimal separator of the graph.
+type extraCov struct {
+	cov  sepCov
+	cone intern.Bitset
+}
+
+// extraCovFor returns (building on first use) the geometry and cone of a
+// non-interned constraint separator. Extras are always built lean —
+// there is no bound on how many distinct sets the public API can send a
+// long-lived solver, so they must neither pin precomputed tables nor
+// drain the shared budget the interned separators rely on.
+func (s *Solver) extraCovFor(sep vset.Set) (*sepCov, intern.Bitset) {
+	key := sep.Key()
+	s.extraMu.Lock()
+	defer s.extraMu.Unlock()
+	if e, ok := s.extras[key]; ok {
+		return &e.cov, e.cone
+	}
+	e := &extraCov{cone: intern.NewBitset(len(s.blocks))}
+	s.buildSepCovLean(&e.cov, sep)
+	for bi := range s.blocks {
+		if sep.SubsetOf(s.blocks[bi].span) {
+			e.cone.Set(bi)
+		}
+	}
+	s.extras[key] = e
+	return &e.cov, e.cone
+}
+
 // Graph returns the input graph.
 func (s *Solver) Graph() *graph.Graph { return s.g }
 
@@ -202,6 +349,34 @@ func (s *Solver) PMCs() []vset.Set { return s.pmcs }
 // NumFullBlocks returns the number of full blocks in the DP.
 func (s *Solver) NumFullBlocks() int { return len(s.blocks) - 1 }
 
+// SetFullResolve disables (true) or re-enables (false) incremental reuse:
+// with full resolve on, every constrained call re-runs the whole DP from
+// scratch. This is the oracle the incremental path is property-tested
+// against and the ablation knob for benchmarks; production callers leave
+// it off. Not safe to flip while enumerations are in flight.
+func (s *Solver) SetFullResolve(on bool) { s.fullResolve = on }
+
+// ReuseStats is a snapshot of the incremental-DP counters: how many
+// constrained solves ran, how many blocks they re-solved with a full
+// candidate scan, and how many they served from the unconstrained
+// baseline (clean blocks outside every constraint's dirty cone, plus
+// dirty-cone blocks kept by the exact baseline-still-wins shortcut).
+type ReuseStats struct {
+	ConstrainedSolves uint64 `json:"constrained_solves"`
+	DirtyBlocks       uint64 `json:"dirty_blocks"`
+	ReusedBlocks      uint64 `json:"reused_blocks"`
+}
+
+// ReuseStats returns the cumulative incremental-solve counters. It is
+// safe to call concurrently with enumeration.
+func (s *Solver) ReuseStats() ReuseStats {
+	return ReuseStats{
+		ConstrainedSolves: s.statSolves.Load(),
+		DirtyBlocks:       s.statDirty.Load(),
+		ReusedBlocks:      s.statReused.Load(),
+	}
+}
+
 // blockSol is the per-constraint-set DP value of one block.
 type blockSol struct {
 	ok       bool
@@ -212,36 +387,189 @@ type blockSol struct {
 	bags     []vset.Set
 }
 
+// solveScratch is the per-call working state of one constrained solve,
+// pooled so the steady-state enumeration allocates no per-block slices.
+type solveScratch struct {
+	sols      []blockSol  // working solutions; starts as a copy of the baseline
+	cov       [][]uint64  // memoized coverage of clean (baseline-reused) blocks
+	covBuf    []uint64    // per-candidate coverage working buffer
+	act       []activeCon // active constraints of the block being solved
+	needArena []uint64    // backing storage for activeCon.need slices
+	bagArena  []uint64    // memoized per-PMC coverage contributions
+	bagDone   []bool      // which bagArena segments are filled
+	changed   []bool      // dirty blocks whose re-solve deviated from baseline
+}
+
+// coverage returns the candidate working buffer zeroed to n words.
+func (sc *solveScratch) coverage(n int) []uint64 {
+	if cap(sc.covBuf) < n {
+		sc.covBuf = make([]uint64, n)
+	}
+	buf := sc.covBuf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// prepare sizes the per-call buffers for a solve over npmcs PMCs with
+// words coverage words and invalidates the per-PMC memo.
+func (sc *solveScratch) prepare(npmcs, words int) {
+	if len(sc.bagDone) < npmcs {
+		sc.bagDone = make([]bool, npmcs)
+	} else {
+		for i := range sc.bagDone {
+			sc.bagDone[i] = false
+		}
+	}
+	if need := npmcs * words; cap(sc.bagArena) < need {
+		sc.bagArena = make([]uint64, need)
+	}
+	if cap(sc.needArena) < words {
+		sc.needArena = make([]uint64, 0, words)
+	}
+}
+
+func (s *Solver) getScratch(cc *compiledConstraints) *solveScratch {
+	sc := s.scratch.Get().(*solveScratch)
+	copy(sc.sols, s.base)
+	for i := range sc.cov {
+		sc.cov[i] = nil
+		sc.changed[i] = false
+	}
+	sc.prepare(len(s.pmcs), cc.words)
+	return sc
+}
+
 // MinTriang returns a minimum-cost minimal triangulation of the input
 // graph subject to the constraints (nil means unconstrained), or
 // ErrNoTriangulation when the constrained space (or bounded-width space)
 // is empty. This is MinTriang⟨κ[I,X]⟩(G) of the paper.
 func (s *Solver) MinTriang(cons *cost.Constraints) (*Result, error) {
-	g := s.g
-	if g.NumVertices() == 0 {
-		return &Result{H: g.Clone(), Tree: td.New(), Cost: s.evalBags(g, nil)}, nil
+	if s.g.NumVertices() == 0 {
+		return &Result{H: s.g.Clone(), Tree: td.New(), Cost: s.evalBags(s.g, nil)}, nil
 	}
-	cc := compileConstraints(g, cons)
-	sols := make([]blockSol, len(s.blocks))
-	for i := range s.blocks {
-		sols[i] = s.solveBlock(i, cc, sols)
+	return s.minTriangCompiled(s.compileConstraints(cons))
+}
+
+// minTriangCompiled is the internal entry point shared by MinTriang and
+// the enumerator's branch solving (which extends compiled constraints by
+// single-separator deltas instead of recompiling).
+func (s *Solver) minTriangCompiled(cc *compiledConstraints) (*Result, error) {
+	top := len(s.blocks) - 1
+	if cc == nil {
+		// Unconstrained: the baseline DP is the answer.
+		if !s.base[top].ok {
+			return nil, ErrNoTriangulation
+		}
+		return s.buildResult(top, s.base), nil
 	}
-	topSol := sols[len(s.blocks)-1]
-	if !topSol.ok {
+	if s.fullResolve {
+		sc := &solveScratch{sols: make([]blockSol, len(s.blocks)), cov: make([][]uint64, len(s.blocks))}
+		sc.prepare(len(s.pmcs), cc.words)
+		for i := range s.blocks {
+			sc.sols[i] = s.solveBlock(i, cc, sc, nil)
+		}
+		if !sc.sols[top].ok {
+			return nil, ErrNoTriangulation
+		}
+		return s.buildResult(top, sc.sols), nil
+	}
+	sc := s.getScratch(cc)
+	defer s.scratch.Put(sc)
+	// Re-solve the dirty cone bottom-up. Blocks are globally sorted by
+	// span size, so ascending bit order respects the child-before-parent
+	// DP order; the top block's span is V, hence always dirty.
+	var scanned uint64
+	cc.dirty.ForEach(func(bi int) {
+		if s.resolveBlock(bi, cc, sc) {
+			scanned++
+		}
+	})
+	s.statSolves.Add(1)
+	s.statDirty.Add(scanned)
+	s.statReused.Add(uint64(len(s.blocks)) - scanned)
+	if !sc.sols[top].ok {
 		return nil, ErrNoTriangulation
 	}
-	return s.buildResult(len(s.blocks)-1, sols), nil
+	return s.buildResult(top, sc.sols), nil
+}
+
+// resolveBlock re-solves one dirty block of an incremental constrained
+// call, with the exact fast path that makes the dirty cone cheap to walk:
+// constraining can only remove candidates and raise children, so every
+// candidate's constrained value is at least its baseline value. Hence if
+// the baseline-chosen candidate's children are all unchanged and its
+// constraint check passes, it still attains the (unchanged) minimum — and
+// the first-minimum tie-break of the from-scratch DP picks it again — so
+// the baseline solution is kept wholesale and only its coverage mask is
+// materialized. Otherwise the block falls back to the full candidate scan
+// and records whether its solution deviated (children consult that flag).
+// The return value reports whether the full scan ran — blocks served
+// from the baseline count as reused in ReuseStats, scanned ones as
+// dirty.
+func (s *Solver) resolveBlock(bi int, cc *compiledConstraints, sc *solveScratch) bool {
+	base := &s.base[bi]
+	if !base.ok {
+		// Infeasible without constraints stays infeasible with them.
+		return false
+	}
+	bd := &s.blocks[bi]
+	cand := &bd.cands[base.cand]
+	// The keep-baseline path requires a Combinable cost: it reuses the
+	// baseline blockSol verbatim, which for generic costs carries the
+	// subtree bag list — stale when an equal-value child re-decomposed.
+	// Combinable solutions fold through (max, sum) scalars, which the
+	// changed flags track exactly.
+	stable := s.comb != nil
+	for _, child := range cand.children {
+		if !stable {
+			break
+		}
+		if sc.changed[child] {
+			stable = false
+		}
+	}
+	var act []activeCon
+	if stable {
+		act = cc.activeAt(bi, s.blockSepID[bi], bd.block.S, sc)
+		buf := sc.coverage(cc.words)
+		copy(buf, cc.bagMask(sc, cand.pmcID, cand.omega))
+		for _, child := range cand.children {
+			for w, bits := range s.coverageOf(child, cc, sc) {
+				buf[w] |= bits
+			}
+		}
+		if checkActive(act, buf) {
+			sol := *base
+			sol.coverage = append([]uint64(nil), buf...)
+			sc.sols[bi] = sol
+			return false
+		}
+	}
+	sol := s.solveBlock(bi, cc, sc, act)
+	sc.sols[bi] = sol
+	if sol.ok != base.ok || sol.value != base.value || sol.max != base.max || sol.sum != base.sum {
+		sc.changed[bi] = true
+	}
+	return true
 }
 
 // solveBlock evaluates every admissible PMC of block bi over the already
 // solved smaller blocks and keeps the cheapest (lines 3–5 of Figure 3;
-// line 6 for the virtual top block).
-func (s *Solver) solveBlock(bi int, cc *compiledConstraints, sols []blockSol) blockSol {
+// line 6 for the virtual top block). The winner's coverage mask is
+// rebuilt once after selection, so losing candidates allocate nothing.
+// act may carry the block's already-built active-constraint list (from a
+// failed keep-baseline attempt); nil means build it here.
+func (s *Solver) solveBlock(bi int, cc *compiledConstraints, sc *solveScratch, act []activeCon) blockSol {
 	bd := &s.blocks[bi]
+	if cc != nil && act == nil {
+		act = cc.activeAt(bi, s.blockSepID[bi], bd.block.S, sc)
+	}
 	best := blockSol{ok: false, value: math.Inf(1)}
 	for ci := range bd.cands {
 		cand := &bd.cands[ci]
-		sol, ok := s.evalCandidate(bd, cand, cc, sols)
+		sol, ok := s.evalCandidate(bd, cand, cc, act, sc)
 		if !ok {
 			continue
 		}
@@ -250,14 +578,53 @@ func (s *Solver) solveBlock(bi int, cc *compiledConstraints, sols []blockSol) bl
 			best = sol
 		}
 	}
+	if cc != nil && best.ok {
+		cand := &bd.cands[best.cand]
+		cov := make([]uint64, cc.words)
+		copy(cov, cc.bagMask(sc, cand.pmcID, cand.omega))
+		for _, child := range cand.children {
+			for w, bits := range s.coverageOf(child, cc, sc) {
+				cov[w] |= bits
+			}
+		}
+		best.coverage = cov
+	}
 	return best
+}
+
+// coverageOf returns the constraint-pair coverage of a solved child
+// block: dirty children carry it on their re-solved solution, clean
+// children derive it lazily from the baseline sub-decomposition (memoized
+// per call — the block DAG shares subtrees).
+func (s *Solver) coverageOf(bi int, cc *compiledConstraints, sc *solveScratch) []uint64 {
+	if cov := sc.sols[bi].coverage; cov != nil {
+		return cov
+	}
+	if m := sc.cov[bi]; m != nil {
+		return m
+	}
+	m := make([]uint64, cc.words)
+	sol := &sc.sols[bi] // clean: identical to the baseline solution
+	cand := &s.blocks[bi].cands[sol.cand]
+	copy(m, cc.bagMask(sc, cand.pmcID, cand.omega))
+	for _, child := range cand.children {
+		for w, bits := range s.coverageOf(child, cc, sc) {
+			m[w] |= bits
+		}
+	}
+	sc.cov[bi] = m
+	return m
 }
 
 // evalCandidate combines the children of one candidate PMC with its root
 // bag, returning the candidate's solution or ok=false when a child is
-// unsolvable or a constraint is violated (κ[I,X] = ∞).
-func (s *Solver) evalCandidate(bd *blockData, cand *candidate, cc *compiledConstraints, sols []blockSol) (blockSol, bool) {
+// unsolvable or a constraint is violated (κ[I,X] = ∞). The constraint
+// check runs on the scratch coverage buffer against the block's active
+// constraints; the caller rebuilds and retains coverage only for the
+// winning candidate.
+func (s *Solver) evalCandidate(bd *blockData, cand *candidate, cc *compiledConstraints, act []activeCon, sc *solveScratch) (blockSol, bool) {
 	var sol blockSol
+	sols := sc.sols
 	for _, child := range cand.children {
 		if !sols[child].ok {
 			return sol, false
@@ -265,14 +632,14 @@ func (s *Solver) evalCandidate(bd *blockData, cand *candidate, cc *compiledConst
 	}
 	// Constraint coverage: bag-covered pairs of the subtree.
 	if cc != nil {
-		sol.coverage = make([]uint64, cc.words)
+		buf := sc.coverage(cc.words)
+		copy(buf, cc.bagMask(sc, cand.pmcID, cand.omega))
 		for _, child := range cand.children {
-			for w, bits := range sols[child].coverage {
-				sol.coverage[w] |= bits
+			for w, bits := range s.coverageOf(child, cc, sc) {
+				buf[w] |= bits
 			}
 		}
-		cc.addBagPairs(sol.coverage, cand.omega)
-		if !cc.check(bd.span, bd.block.S, sol.coverage) {
+		if !checkActive(act, buf) {
 			return sol, false
 		}
 	}
@@ -306,10 +673,12 @@ func (s *Solver) evalBags(g *graph.Graph, bags []vset.Set) float64 {
 }
 
 // buildResult assembles the decomposition tree, triangulation, bags and
-// separators of the solved top block.
+// separators of the solved top block. Separators are collected by
+// interned ID; ascending ID order is the canonical vset.Compare order
+// because the separator table is built from the sorted separator list.
 func (s *Solver) buildResult(top int, sols []blockSol) *Result {
 	tree := td.New()
-	sepSeen := map[string]vset.Set{}
+	sepSeen := intern.NewBitset(s.sepTab.Len())
 	var build func(bi int) int
 	build = func(bi int) int {
 		bd := &s.blocks[bi]
@@ -318,9 +687,8 @@ func (s *Solver) buildResult(top int, sols []blockSol) *Result {
 		for _, child := range cand.children {
 			cn := build(child)
 			tree.AddEdge(node, cn)
-			si := s.blocks[child].block.S
-			if !si.IsEmpty() {
-				sepSeen[si.Key()] = si
+			if id := s.blockSepID[child]; id >= 0 {
+				sepSeen.Set(id)
 			}
 		}
 		return node
@@ -330,16 +698,19 @@ func (s *Solver) buildResult(top int, sols []blockSol) *Result {
 	for _, b := range tree.Bags {
 		h.SaturateInPlace(b)
 	}
-	seps := make([]vset.Set, 0, len(sepSeen))
-	for _, sp := range sepSeen {
-		seps = append(seps, sp)
-	}
-	sort.Slice(seps, func(i, j int) bool { return seps[i].Compare(seps[j]) < 0 })
+	n := sepSeen.Count()
+	seps := make([]vset.Set, 0, n)
+	sepIDs := make([]int, 0, n)
+	sepSeen.ForEach(func(id int) {
+		seps = append(seps, s.sepTab.Set(id))
+		sepIDs = append(sepIDs, id)
+	})
 	return &Result{
-		H:    h,
-		Tree: tree,
-		Bags: append([]vset.Set(nil), tree.Bags...),
-		Seps: seps,
-		Cost: s.evalBags(s.g, tree.Bags),
+		H:      h,
+		Tree:   tree,
+		Bags:   append([]vset.Set(nil), tree.Bags...),
+		Seps:   seps,
+		sepIDs: sepIDs,
+		Cost:   s.evalBags(s.g, tree.Bags),
 	}
 }

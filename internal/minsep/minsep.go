@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/intern"
 	"repro/internal/vset"
 )
 
@@ -51,12 +52,10 @@ func AllCtx(ctx context.Context, g *graph.Graph) ([]vset.Set, bool) {
 // all runs the closure, aborting early when the (possibly nil) expired
 // predicate reports true.
 func all(g *graph.Graph, expired func() bool) ([]vset.Set, bool) {
-	seen := map[string]vset.Set{}
+	seen := intern.New(g.NumVertices())
 	var queue []vset.Set
 	add := func(s vset.Set) {
-		k := s.Key()
-		if _, ok := seen[k]; !ok {
-			seen[k] = s
+		if _, fresh := seen.Intern(s); fresh {
 			queue = append(queue, s)
 		}
 	}
@@ -87,9 +86,9 @@ func all(g *graph.Graph, expired func() bool) ([]vset.Set, bool) {
 	return collect(g, seen), true
 }
 
-func collect(g *graph.Graph, seen map[string]vset.Set) []vset.Set {
-	out := make([]vset.Set, 0, len(seen))
-	for _, s := range seen {
+func collect(g *graph.Graph, seen *intern.Table) []vset.Set {
+	out := make([]vset.Set, 0, seen.Len())
+	for _, s := range seen.Sets() {
 		if s.IsEmpty() && g.IsConnected() {
 			continue
 		}
@@ -167,12 +166,9 @@ func IsMaximalParallel(g *graph.Graph, seps, all []vset.Set) bool {
 	if !PairwiseParallel(g, seps) {
 		return false
 	}
-	inSet := map[string]bool{}
-	for _, s := range seps {
-		inSet[s.Key()] = true
-	}
+	inSet := intern.FromSets(seps)
 	for _, t := range all {
-		if inSet[t.Key()] {
+		if inSet.Contains(t) {
 			continue
 		}
 		crossesSome := false

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/intern"
 	"repro/internal/minsep"
 	"repro/internal/vset"
 )
@@ -124,9 +125,9 @@ func AtMostCtx(ctx context.Context, g *graph.Graph, k int) ([]vset.Set, error) {
 func enumerate(ctx context.Context, g *graph.Graph, maxSize int) ([]vset.Set, bool) {
 	verts := g.Vertices().Slice()
 	n := g.Universe()
-	current := map[string]vset.Set{}
+	current := intern.New(0)
 	var prevSeps []vset.Set
-	prevSepKeys := map[string]bool{}
+	prevSepTab := intern.New(0)
 	prefix := vset.New(n)
 	for i, a := range verts {
 		if ctx.Err() != nil {
@@ -134,40 +135,37 @@ func enumerate(ctx context.Context, g *graph.Graph, maxSize int) ([]vset.Set, bo
 		}
 		prefix.AddInPlace(a)
 		gi := g.InducedSubgraph(prefix)
-		next := map[string]vset.Set{}
+		// Candidate dedup and the seen-separator test run once per
+		// candidate; interned IDs keep both a single hash away.
+		next := intern.New(current.Len())
 		consider := func(omega vset.Set) {
 			if maxSize >= 0 && omega.Len() > maxSize {
 				return
 			}
-			k := omega.Key()
-			if _, ok := next[k]; ok {
+			if next.Contains(omega) || !IsPMC(gi, omega) {
 				return
 			}
-			if IsPMC(gi, omega) {
-				next[k] = omega
-			}
+			next.Intern(omega)
 		}
 		if i == 0 {
 			consider(vset.Of(n, a))
 			current = next
 			prevSeps, _ = minsep.AllCtx(ctx, gi)
-			for _, s := range prevSeps {
-				prevSepKeys[s.Key()] = true
-			}
+			prevSepTab = intern.FromSets(prevSeps)
 			continue
 		}
 		seps, sepsOK := minsep.AllCtx(ctx, gi)
 		if !sepsOK {
 			return nil, false
 		}
-		for _, omega := range current {
+		for _, omega := range current.Sets() {
 			consider(omega)
 			consider(omega.Add(a))
 		}
 		for _, s := range seps {
 			if !s.Contains(a) {
 				consider(s.Add(a))
-				if !prevSepKeys[s.Key()] {
+				if !prevSepTab.Contains(s) {
 					// Case (4): new separators combine with old ones.
 					for _, c := range gi.ComponentsAvoiding(s) {
 						for _, t := range prevSeps {
@@ -181,15 +179,9 @@ func enumerate(ctx context.Context, g *graph.Graph, maxSize int) ([]vset.Set, bo
 		}
 		current = next
 		prevSeps = seps
-		prevSepKeys = make(map[string]bool, len(seps))
-		for _, s := range seps {
-			prevSepKeys[s.Key()] = true
-		}
+		prevSepTab = intern.FromSets(seps)
 	}
-	out := make([]vset.Set, 0, len(current))
-	for _, omega := range current {
-		out = append(out, omega)
-	}
+	out := append([]vset.Set(nil), current.Sets()...)
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 	return out, true
 }
@@ -199,12 +191,11 @@ func enumerate(ctx context.Context, g *graph.Graph, maxSize int) ([]vset.Set, bo
 // G \ Ω, the pair (N(C), C). Each N(C) is a minimal separator of g and
 // (N(C), C) is a full block (Section 5.1 of the paper).
 func Associated(g *graph.Graph, omega vset.Set) (seps []vset.Set, blocks []Block) {
-	seen := map[string]bool{}
+	seen := intern.New(4)
 	for _, c := range g.ComponentsAvoiding(omega) {
 		s := g.NeighborsOfSet(c)
 		blocks = append(blocks, Block{S: s, C: c})
-		if !seen[s.Key()] {
-			seen[s.Key()] = true
+		if _, fresh := seen.Intern(s); fresh {
 			seps = append(seps, s)
 		}
 	}

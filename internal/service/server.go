@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/cost"
 	"repro/internal/graph"
 )
 
@@ -38,6 +39,12 @@ type Config struct {
 	// 5m). A stream holds an admission slot from start to finish, so an
 	// unbounded stream could park a slot forever.
 	StreamTimeout time.Duration
+	// FullResolve disables the incremental constraint-aware DP on every
+	// solver this server builds: each Lawler–Murty branch re-runs the
+	// whole block DP from scratch. This is a debugging/ablation knob —
+	// the enumeration output is identical either way (property-tested in
+	// core) — so production deployments leave it false.
+	FullResolve bool
 }
 
 func (c Config) withDefaults() Config {
@@ -184,10 +191,20 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	solver, hit, err := s.pool.Get(ctx, key, func(bctx context.Context) (*core.Solver, error) {
 		bctx, cancel := context.WithTimeout(bctx, s.cfg.InitTimeout)
 		defer cancel()
+		build := core.NewSolverContext
 		if bound >= 0 {
-			return core.NewBoundedSolverContext(bctx, g, c, bound)
+			build = func(bctx context.Context, g *graph.Graph, c cost.Cost) (*core.Solver, error) {
+				return core.NewBoundedSolverContext(bctx, g, c, bound)
+			}
 		}
-		return core.NewSolverContext(bctx, g, c)
+		solver, err := build(bctx, g, c)
+		if err != nil {
+			return nil, err
+		}
+		// Applied inside the build, before the solver is published to any
+		// other waiter.
+		solver.SetFullResolve(s.cfg.FullResolve)
+		return solver, nil
 	})
 	if err != nil {
 		// Cancelled or out-of-budget initialization is a capacity signal
@@ -383,6 +400,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Requests:      s.requests.Load(),
 		Pool:          s.pool.Stats(),
 		Sessions:      s.sessions.Stats(),
+		Solver:        s.pool.ReuseStats(),
 	})
 }
 

@@ -618,3 +618,38 @@ func TestHealthz(t *testing.T) {
 		t.Fatalf("healthz: %d", resp.StatusCode)
 	}
 }
+
+// TestStatsSolverReuseCounters checks that /v1/stats surfaces the
+// incremental-DP counters of the cached solvers after an enumeration, and
+// that the FullResolve ablation knob keeps the output identical while
+// reporting a dirty ratio of 100%.
+func TestStatsSolverReuseCounters(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	g6 := cycleGraph6(t, 6)
+	first, _ := postEnumerate(t, ts, fmt.Sprintf(`{"graph6": %q, "cost": "fill", "page_size": 100}`, g6))
+	if !first.Done {
+		t.Fatalf("cycle enumeration should exhaust in one page, got done=%v", first.Done)
+	}
+	stats := getStats(t, ts)
+	if stats.Solver.ConstrainedSolves == 0 {
+		t.Fatal("stats report no constrained solves after an enumeration")
+	}
+	if stats.Solver.ReusedBlocks == 0 {
+		t.Fatal("incremental solver reused no blocks")
+	}
+
+	_, tsFull := newTestServer(t, Config{FullResolve: true})
+	full, _ := postEnumerate(t, tsFull, fmt.Sprintf(`{"graph6": %q, "cost": "fill", "page_size": 100}`, g6))
+	if len(full.Results) != len(first.Results) {
+		t.Fatalf("full-resolve enumeration emitted %d results, incremental %d", len(full.Results), len(first.Results))
+	}
+	for i := range full.Results {
+		if full.Results[i].Cost != first.Results[i].Cost || fmt.Sprint(full.Results[i].Bags) != fmt.Sprint(first.Results[i].Bags) {
+			t.Fatalf("full-resolve result %d differs from incremental", i)
+		}
+	}
+	fullStats := getStats(t, tsFull)
+	if fullStats.Solver.ConstrainedSolves != 0 {
+		t.Fatalf("full-resolve solver should bypass the incremental counters, got %d solves", fullStats.Solver.ConstrainedSolves)
+	}
+}

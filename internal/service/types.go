@@ -77,12 +77,16 @@ type SessionInfo struct {
 	IdleSeconds float64 `json:"idle_seconds"`
 }
 
-// StatsResponse is the body of GET /v1/stats.
+// StatsResponse is the body of GET /v1/stats. Solver aggregates the
+// incremental-DP reuse counters (see core.ReuseStats) over the cached
+// solvers: dirty_blocks were re-solved under Lawler–Murty constraints,
+// reused_blocks came straight from each solver's unconstrained baseline.
 type StatsResponse struct {
-	UptimeSeconds float64      `json:"uptime_seconds"`
-	Requests      uint64       `json:"requests"`
-	Pool          PoolStats    `json:"pool"`
-	Sessions      SessionStats `json:"sessions"`
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Requests      uint64          `json:"requests"`
+	Pool          PoolStats       `json:"pool"`
+	Sessions      SessionStats    `json:"sessions"`
+	Solver        core.ReuseStats `json:"solver"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

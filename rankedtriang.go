@@ -158,6 +158,19 @@ func TopK(g *Graph, c Cost, k int) []*Result {
 	return core.NewSolver(g, c).TopK(k)
 }
 
+// TopKContext is TopK with cancellation and parallel Lawler–Murty branch
+// solving: it stops early (possibly short of k results) once ctx is
+// cancelled, and solves branch optimizations with the given worker count
+// (values < 2 mean sequential). The emitted prefix is identical to the
+// sequential TopK.
+func TopKContext(ctx context.Context, g *Graph, c Cost, k, workers int) ([]*Result, error) {
+	s, err := core.NewSolverContext(ctx, g, c)
+	if err != nil {
+		return nil, err
+	}
+	return s.TopKContext(ctx, k, workers), nil
+}
+
 // CKKResult is one triangulation from the baseline enumeration.
 type CKKResult = ckk.Result
 
