@@ -41,6 +41,7 @@ func main() {
 		initTimeout   = flag.Duration("init-timeout", 60*time.Second, "per-graph solver initialization budget")
 		streamTimeout = flag.Duration("stream-timeout", 5*time.Minute, "total lifetime budget of one NDJSON stream")
 		fullResolve   = flag.Bool("full-resolve", false, "disable the incremental DP: every branch re-solves from scratch (A/B debugging; identical output)")
+		noDecompose   = flag.Bool("no-decompose", false, "disable the clique-separator atom decomposition: always solve the whole graph monolithically (A/B debugging)")
 		drain         = flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
 	)
 	flag.Parse()
@@ -55,6 +56,7 @@ func main() {
 		InitTimeout:   *initTimeout,
 		StreamTimeout: *streamTimeout,
 		FullResolve:   *fullResolve,
+		NoDecompose:   *noDecompose,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -1,0 +1,168 @@
+package atoms
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/vset"
+)
+
+// checkAgainstBruteforce asserts that Decompose(g) finds exactly the
+// ground-truth atoms and clique minimal separators of g, and that the
+// structural invariants of the atom tree hold.
+func checkAgainstBruteforce(t *testing.T, g *graph.Graph) {
+	t.Helper()
+	d := Decompose(g)
+
+	keys := func(sets []vset.Set) map[string]bool {
+		m := map[string]bool{}
+		for _, s := range sets {
+			m[s.Key()] = true
+		}
+		return m
+	}
+	gotAtoms := map[string]bool{}
+	for _, a := range d.Atoms {
+		if gotAtoms[a.Vertices.Key()] {
+			t.Fatalf("duplicate atom %v", a.Vertices)
+		}
+		gotAtoms[a.Vertices.Key()] = true
+	}
+	wantAtoms := keys(bruteforce.Atoms(g))
+	if len(gotAtoms) != len(wantAtoms) {
+		t.Fatalf("atom count: got %d want %d (graph %s)", len(gotAtoms), len(wantAtoms), g.EdgeSetKey())
+	}
+	for k := range wantAtoms {
+		if !gotAtoms[k] {
+			t.Fatalf("missing atom %q (graph %s)", k, g.EdgeSetKey())
+		}
+	}
+
+	gotSeps := keys(d.CliqueSeps)
+	wantSeps := keys(bruteforce.CliqueMinimalSeparators(g))
+	if len(gotSeps) != len(wantSeps) {
+		t.Fatalf("clique-sep count: got %d want %d (graph %s)", len(gotSeps), len(wantSeps), g.EdgeSetKey())
+	}
+	for k := range wantSeps {
+		if !gotSeps[k] {
+			t.Fatalf("missing clique minimal separator %q (graph %s)", k, g.EdgeSetKey())
+		}
+	}
+
+	covered := vset.New(g.Universe())
+	for i, a := range d.Atoms {
+		covered.UnionInPlace(a.Vertices)
+		if !g.IsClique(a.Sep) {
+			t.Fatalf("atom %d: separator %v is not a clique", i, a.Sep)
+		}
+		if a.Sep.IsEmpty() != (a.Parent < 0) {
+			t.Fatalf("atom %d: empty-sep/parent mismatch (%v, parent %d)", i, a.Sep, a.Parent)
+		}
+		if a.Parent >= 0 {
+			if a.Parent <= i || a.Parent >= len(d.Atoms) {
+				t.Fatalf("atom %d: parent %d out of order", i, a.Parent)
+			}
+			if !a.Sep.SubsetOf(d.Atoms[a.Parent].Vertices) {
+				t.Fatalf("atom %d: separator %v not inside parent %v", i, a.Sep, d.Atoms[a.Parent].Vertices)
+			}
+			if !a.Sep.SubsetOf(a.Vertices) {
+				t.Fatalf("atom %d: separator %v not inside atom %v", i, a.Sep, a.Vertices)
+			}
+		}
+	}
+	if !covered.Equal(g.Vertices()) {
+		t.Fatalf("atoms cover %v, want %v", covered, g.Vertices())
+	}
+}
+
+// TestDecomposeExhaustive cross-checks every graph on up to 6 vertices
+// against the bruteforce ground truth.
+func TestDecomposeExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive sweep")
+	}
+	for n := 0; n <= 6; n++ {
+		pairs := n * (n - 1) / 2
+		for mask := 0; mask < 1<<uint(pairs); mask++ {
+			g := graph.New(n)
+			bit := 0
+			for u := 0; u < n; u++ {
+				for v := u + 1; v < n; v++ {
+					if mask&(1<<uint(bit)) != 0 {
+						g.AddEdge(u, v)
+					}
+					bit++
+				}
+			}
+			checkAgainstBruteforce(t, g)
+		}
+	}
+}
+
+// TestDecomposeRandom extends the cross-check to n = 7 and n = 8 with
+// random G(n,p) graphs across the density range, completing the
+// "all graphs up to n=8" oracle corpus at a feasible cost.
+func TestDecomposeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260729))
+	for n := 7; n <= 8; n++ {
+		for _, p := range []float64{0.15, 0.3, 0.5, 0.7} {
+			trials := 60
+			if testing.Short() {
+				trials = 8
+			}
+			for i := 0; i < trials; i++ {
+				checkAgainstBruteforce(t, gen.GNP(rng, n, p))
+			}
+		}
+	}
+}
+
+// TestDecomposeStructured covers the families the decomposed solver is
+// designed for: trees (every internal edge is a clique separator),
+// trees plus chords, clique chains, and disconnected unions.
+func TestDecomposeStructured(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+
+	// A path: n-1 atoms (the edges), n-2 cut vertices.
+	p := gen.Path(6)
+	d := Decompose(p)
+	if d.Count() != 5 {
+		t.Fatalf("P6: %d atoms, want 5", d.Count())
+	}
+	checkAgainstBruteforce(t, p)
+
+	// A cycle has no clique separator: one atom.
+	c := gen.Cycle(6)
+	if d := Decompose(c); d.Count() != 1 {
+		t.Fatalf("C6: %d atoms, want 1", d.Count())
+	}
+
+	// A complete graph is a single atom with no separators at all.
+	if d := Decompose(gen.Complete(5)); d.Count() != 1 || len(d.CliqueSeps) != 0 {
+		t.Fatalf("K5: %d atoms, %d seps", d.Count(), len(d.CliqueSeps))
+	}
+
+	// Disconnected: the empty separator is a clique minimal separator
+	// and the components decompose independently.
+	g := graph.New(8)
+	for i := 0; i < 4; i++ {
+		g.AddEdge(i, (i+1)%4)
+		g.AddEdge(4+i, 4+(i+1)%4)
+	}
+	d = Decompose(g)
+	if d.Count() != 2 {
+		t.Fatalf("2×C4: %d atoms, want 2", d.Count())
+	}
+	if len(d.CliqueSeps) != 1 || !d.CliqueSeps[0].IsEmpty() {
+		t.Fatalf("2×C4: clique seps %v, want only the empty separator", d.CliqueSeps)
+	}
+	checkAgainstBruteforce(t, g)
+
+	// Trees plus chords, the oracle family of the core tests.
+	for i := 0; i < 30; i++ {
+		checkAgainstBruteforce(t, gen.TreePlusChords(rng, 8, 2))
+	}
+}

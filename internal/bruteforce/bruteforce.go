@@ -151,6 +151,62 @@ func AllPMCs(g *graph.Graph) []vset.Set {
 	return out
 }
 
+// CliqueMinimalSeparators returns the minimal separators of g that are
+// cliques, straight from the two definitions. The empty separator is
+// included exactly when g is disconnected.
+func CliqueMinimalSeparators(g *graph.Graph) []vset.Set {
+	var out []vset.Set
+	for _, s := range AllMinimalSeparators(g) {
+		if g.IsClique(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Atoms computes the atoms of g — the maximal connected induced subgraphs
+// without a clique separator — by recursively splitting on clique minimal
+// separators and keeping the maximal distinct outcomes. Leimer proved the
+// atom set is independent of the splitting order, but the naive recursion
+// can emit duplicates and subsumed fragments, so both are filtered. This
+// is the ground truth internal/atoms is cross-checked against.
+func Atoms(g *graph.Graph) []vset.Set {
+	if g.NumVertices() == 0 {
+		return nil
+	}
+	found := map[string]vset.Set{}
+	var rec func(w vset.Set)
+	rec = func(w vset.Set) {
+		sub := g.InducedSubgraph(w)
+		for _, s := range AllMinimalSeparators(sub) {
+			if !sub.IsClique(s) {
+				continue
+			}
+			for _, c := range sub.ComponentsAvoiding(s) {
+				rec(c.Union(s))
+			}
+			return
+		}
+		found[w.Key()] = w
+	}
+	rec(g.Vertices())
+	var out []vset.Set
+	for _, w := range found {
+		maximal := true
+		for _, other := range found {
+			if !w.Equal(other) && w.SubsetOf(other) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
 // IsMinimalTriangulation reports whether h is a minimal triangulation of g
 // by comparing its fill set against every minimal triangulation of g.
 func IsMinimalTriangulation(h, g *graph.Graph) bool {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -35,7 +36,14 @@ func BenchmarkEnumerateDelay(b *testing.B) {
 		for _, mode := range []string{"incremental", "fullresolve"} {
 			b.Run(tc.name+"/"+mode, func(b *testing.B) {
 				g := delayBenchGraph(tc.n, tc.p, 7)
-				s := NewSolver(g, tc.c)
+				// Pin the monolithic machine: this benchmark measures the
+				// incremental constraint-aware DP, and a sparse G(n,p)
+				// instance may otherwise route through the atom
+				// decomposition (BenchmarkAtomsDelay covers that).
+				s, err := New(context.Background(), g, tc.c, Options{NoDecompose: true})
+				if err != nil {
+					b.Fatal(err)
+				}
 				s.SetFullResolve(mode == "fullresolve")
 				e := s.Enumerate()
 				if _, ok := e.Next(); !ok {

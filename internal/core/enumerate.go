@@ -3,12 +3,43 @@ package core
 import (
 	"container/heap"
 	"context"
+	"runtime"
 	"sync"
 )
 
 // Enumerator streams the minimal triangulations of a graph by increasing
-// cost — the RankedTriang algorithm of Figure 4. Obtain one from
-// Solver.Enumerate and call Next until it reports exhaustion.
+// cost. Obtain one from Solver.Enumerate and call Next until it reports
+// exhaustion. It fronts one of two machines: the Lawler–Murty RankedTriang
+// of Figure 4 on a monolithic solver, or the ranked product-stream merge
+// of the per-atom enumerations on a decomposed solver (product.go).
+type Enumerator struct {
+	lm *lmEnumerator
+	pm *productEnumerator
+}
+
+// Next returns the next minimal triangulation in non-decreasing cost
+// order, or ok=false when the enumeration is complete. The time between
+// consecutive calls is polynomial in the initialization size (polynomial
+// delay under poly-MS, Theorem 4.4) — for a decomposed solver, in the
+// initialization size of the atoms.
+func (e *Enumerator) Next() (*Result, bool) {
+	if e.pm != nil {
+		return e.pm.Next()
+	}
+	return e.lm.Next()
+}
+
+// Remaining reports how many partitions (monolithic) or product-frontier
+// combinations (decomposed) are currently queued — instrumentation.
+func (e *Enumerator) Remaining() int {
+	if e.pm != nil {
+		return e.pm.Remaining()
+	}
+	return e.lm.Remaining()
+}
+
+// lmEnumerator is the monolithic machine — the RankedTriang algorithm of
+// Figure 4.
 //
 // Each partition of the unexplored space is an inclusion/exclusion
 // constraint pair [I, X] held in a priority queue together with that
@@ -17,7 +48,7 @@ import (
 // separators. Constraint pairs are kept in compiled form and extended by
 // single-separator deltas, so a branch solve never recompiles its
 // ancestors' constraints and reuses their precomputed dirty cones.
-type Enumerator struct {
+type lmEnumerator struct {
 	s       *Solver
 	ctx     context.Context // cancellation for the branch-solving hot loop
 	queue   partitionQueue
@@ -80,30 +111,32 @@ func (s *Solver) EnumerateParallel(workers int) *Enumerator {
 
 // EnumerateParallelContext is EnumerateParallel bound to a context (see
 // EnumerateContext). A background context makes every check a no-op, so
-// existing callers pay nothing.
+// existing callers pay nothing. On a decomposed solver the workers apply
+// inside each atom's Lawler–Murty branch solving.
 func (s *Solver) EnumerateParallelContext(ctx context.Context, workers int) *Enumerator {
 	if workers < 1 {
 		workers = 1
 	}
-	e := &Enumerator{s: s, ctx: ctx, workers: workers}
+	if s.dec != nil {
+		return &Enumerator{pm: s.newProductEnumerator(ctx, workers)}
+	}
+	lm := &lmEnumerator{s: s, ctx: ctx, workers: workers}
 	if ctx.Err() == nil {
 		if r, err := s.MinTriang(nil); err == nil {
-			e.push(r, nil)
+			lm.push(r, nil)
 		}
 	}
-	return e
+	return &Enumerator{lm: lm}
 }
 
-func (e *Enumerator) push(r *Result, cc *compiledConstraints) {
+func (e *lmEnumerator) push(r *Result, cc *compiledConstraints) {
 	e.seq++
 	heap.Push(&e.queue, &partition{res: r, cc: cc, seq: e.seq})
 }
 
-// Next returns the next minimal triangulation in non-decreasing cost
-// order, or ok=false when the enumeration is complete. The time between
-// consecutive calls is polynomial in the initialization size (polynomial
-// delay under poly-MS, Theorem 4.4).
-func (e *Enumerator) Next() (*Result, bool) {
+// Next pops the cheapest partition, emits its member and splits the
+// remainder (see the Enumerator doc).
+func (e *lmEnumerator) Next() (*Result, bool) {
 	if len(e.queue) == 0 || e.ctx.Err() != nil {
 		return nil, false
 	}
@@ -182,7 +215,7 @@ func (e *Enumerator) Next() (*Result, bool) {
 
 // Remaining reports how many partitions are currently queued (mainly for
 // instrumentation).
-func (e *Enumerator) Remaining() int { return len(e.queue) }
+func (e *lmEnumerator) Remaining() int { return len(e.queue) }
 
 // TopK returns up to k minimal triangulations of the solver's graph by
 // increasing cost.
@@ -190,12 +223,24 @@ func (s *Solver) TopK(k int) []*Result {
 	return s.TopKContext(context.Background(), k, 1)
 }
 
+// effectiveWorkers normalizes a requested branch-solver worker count:
+// positive counts are taken as-is (1 = sequential), zero and negative
+// default to GOMAXPROCS. Callers passing "unset" get the parallel
+// speed-up instead of silently running serially.
+func effectiveWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
 // TopKContext returns up to k minimal triangulations by increasing cost,
-// solving Lawler–Murty branches with the given worker count (values < 2
-// mean sequential) and stopping early — possibly short of k results —
-// once ctx is cancelled.
+// solving Lawler–Murty branches with the given worker count and stopping
+// early — possibly short of k results — once ctx is cancelled. A worker
+// count of 1 means sequential; zero or negative means GOMAXPROCS. The
+// emitted prefix is identical for every worker count.
 func (s *Solver) TopKContext(ctx context.Context, k, workers int) []*Result {
-	e := s.EnumerateParallelContext(ctx, workers)
+	e := s.EnumerateParallelContext(ctx, effectiveWorkers(workers))
 	var out []*Result
 	for len(out) < k {
 		r, ok := e.Next()

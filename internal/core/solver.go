@@ -9,10 +9,13 @@ import (
 	"context"
 	"errors"
 	"math"
+	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/atoms"
 	"repro/internal/cost"
 	"repro/internal/graph"
 	"repro/internal/intern"
@@ -94,12 +97,30 @@ type Solver struct {
 	fullResolve bool      // solve every block from scratch (oracle/ablation)
 	scratch     sync.Pool // *solveScratch, reused across constrained solves
 
+	// Decomposed mode (see DESIGN.md, "Atom decomposition"). When the
+	// graph splits into more than one clique-separator atom and the cost
+	// declares an atom-wise merge rule, the monolithic structures above
+	// stay empty: the solver instead owns one sub-solver per atom, built
+	// lazily and in parallel on first use, and answers enumeration
+	// queries through the ranked product-stream merge of product.go.
+	dec       *atoms.Decomposition
+	mergeKind cost.MergeKind
+	subMu     sync.Mutex // guards subs/aggSeps/aggPMCs construction
+	subs      []*Solver  // aligned with dec.Atoms; nil until first use
+	aggSeps   []vset.Set // cached MinimalSeparators() aggregate
+	aggPMCs   []vset.Set // cached PMCs() aggregate
+
 	statSolves atomic.Uint64 // constrained solves served incrementally
 	statDirty  atomic.Uint64 // blocks re-solved across those calls
 	statReused atomic.Uint64 // blocks reused from the baseline
 
 	// InitDuration records the time spent computing separators, PMCs and
 	// the block structure — the "init" column of the paper's Table 2.
+	// Written once during construction and immutable afterwards. For a
+	// decomposed solver built with a cancellable context (or Prepare'd)
+	// it includes the per-atom sub-solver builds; for a lazily built one
+	// it covers only the decomposition, with the deferred build times
+	// reported per atom by AtomInfos.
 	InitDuration time.Duration
 }
 
@@ -122,7 +143,7 @@ func NewSolver(g *graph.Graph, c cost.Cost) *Solver {
 // background context never fails. Services use this so a disconnected
 // client stops burning initialization CPU.
 func NewSolverContext(ctx context.Context, g *graph.Graph, c cost.Cost) (*Solver, error) {
-	return newSolver(ctx, g, c, -1)
+	return newSolver(ctx, g, c, -1, false)
 }
 
 // NewBoundedSolverContext is NewBoundedSolver with cancellation (see
@@ -131,7 +152,32 @@ func NewBoundedSolverContext(ctx context.Context, g *graph.Graph, c cost.Cost, b
 	if b < 0 {
 		panic("core: negative width bound")
 	}
-	return newSolver(ctx, g, c, b)
+	return newSolver(ctx, g, c, b, false)
+}
+
+// Options configures solver construction beyond the cost function.
+type Options struct {
+	// WidthBound restricts the solver to triangulations of width at most
+	// *WidthBound (see NewBoundedSolver); nil means unbounded.
+	WidthBound *int
+	// NoDecompose forces the monolithic whole-graph solver even when the
+	// graph factors into clique-separator atoms. This is the ablation and
+	// oracle knob for the atom decomposition: the enumeration output is
+	// identical either way up to cost ties (property-tested), only the
+	// delay and initialization cost differ.
+	NoDecompose bool
+}
+
+// New is the fully configurable constructor behind NewSolver and friends.
+func New(ctx context.Context, g *graph.Graph, c cost.Cost, opts Options) (*Solver, error) {
+	bound := -1
+	if opts.WidthBound != nil {
+		if *opts.WidthBound < 0 {
+			panic("core: negative width bound")
+		}
+		bound = *opts.WidthBound
+	}
+	return newSolver(ctx, g, c, bound, opts.NoDecompose)
 }
 
 // NewBoundedSolver initializes MinTriangB⟨b, κ⟩: only minimal separators
@@ -142,11 +188,41 @@ func NewBoundedSolver(g *graph.Graph, c cost.Cost, b int) *Solver {
 	return s
 }
 
-func newSolver(ctx context.Context, g *graph.Graph, c cost.Cost, bound int) (*Solver, error) {
+func newSolver(ctx context.Context, g *graph.Graph, c cost.Cost, bound int, noDecompose bool) (*Solver, error) {
 	start := time.Now()
 	s := &Solver{g: g, c: c, bound: bound}
 	if comb, ok := c.(cost.Combinable); ok {
 		s.comb = comb
+	}
+	// Atom decomposition: when the graph splits on clique minimal
+	// separators and the cost declares an atom-wise merge rule, skip the
+	// (exponential) whole-graph structures entirely; everything else in
+	// this function is the monolithic path, which sub-solvers also take
+	// (their atoms have no clique separators, so re-decomposing them
+	// would only waste an MCS-M pass).
+	if !noDecompose && g.NumVertices() > 0 {
+		if m, ok := c.(cost.Mergeable); ok && m.MergeKind() != cost.NoMerge {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if dec := atoms.Decompose(g); len(dec.Atoms) > 1 {
+				s.dec = dec
+				s.mergeKind = m.MergeKind()
+				// A cancellable context is a caller that wants the
+				// NewSolverContext abort contract: build the sub-solvers
+				// now, under that context, so no exponential work escapes
+				// it later through a context-free query. A background
+				// context (plain NewSolver) keeps the build lazy — the
+				// first query pays it, in parallel.
+				if ctx.Done() != nil {
+					if err := s.ensureSubs(ctx); err != nil {
+						return nil, err
+					}
+				}
+				s.InitDuration = time.Since(start)
+				return s, nil
+			}
+		}
 	}
 	var sepsOK bool
 	var pmcErr error
@@ -339,22 +415,169 @@ func (s *Solver) Graph() *graph.Graph { return s.g }
 // Cost returns the solver's cost function.
 func (s *Solver) Cost() cost.Cost { return s.c }
 
+// Decomposed reports whether the solver routes through the atom
+// decomposition (more than one clique-separator atom, mergeable cost, and
+// decomposition not disabled).
+func (s *Solver) Decomposed() bool { return s.dec != nil }
+
+// Atoms returns the clique-minimal-separator decomposition of the input
+// graph, or nil for a monolithic solver.
+func (s *Solver) Atoms() *atoms.Decomposition { return s.dec }
+
+// ensureSubs builds the per-atom sub-solvers on first use, in parallel
+// with up to GOMAXPROCS workers. Failed builds (only possible through ctx
+// cancellation) are not cached, so a later call with a live context
+// retries; concurrent callers serialize on subMu and the winner's build
+// is shared.
+func (s *Solver) ensureSubs(ctx context.Context) error {
+	if s.dec == nil {
+		return nil
+	}
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	if s.subs != nil {
+		return nil
+	}
+	n := len(s.dec.Atoms)
+	subs := make([]*Solver, n)
+	errs := make([]error, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if ctx.Err() != nil {
+					errs[i] = ctx.Err()
+					continue
+				}
+				sg := s.g.InducedSubgraph(s.dec.Atoms[i].Vertices)
+				sub, err := newSolver(ctx, sg, s.c, s.bound, true)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				sub.SetFullResolve(s.fullResolve)
+				subs[i] = sub
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	s.subs = subs
+	return nil
+}
+
+// Prepare forces the lazy per-atom sub-solver initialization now, under
+// ctx's budget. Library callers can ignore it (the first query prepares
+// on demand); the service layer calls it inside the pooled build so a
+// decomposed solver's initialization is bounded by the same timeout as a
+// monolithic one. A no-op on monolithic solvers.
+func (s *Solver) Prepare(ctx context.Context) error {
+	return s.ensureSubs(ctx)
+}
+
+// subSolvers returns the built sub-solver list, or nil for a monolithic
+// solver or before the first successful ensureSubs.
+func (s *Solver) subSolvers() []*Solver {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	return s.subs
+}
+
 // MinimalSeparators returns the precomputed MinSep(G) (restricted by the
-// width bound for bounded solvers).
-func (s *Solver) MinimalSeparators() []vset.Set { return s.seps }
+// width bound for bounded solvers). For a decomposed solver this is the
+// disjoint union of the atoms' minimal separators and the clique minimal
+// separators of the decomposition, in canonical order — the same set the
+// monolithic solver computes directly.
+func (s *Solver) MinimalSeparators() []vset.Set {
+	if s.dec == nil {
+		return s.seps
+	}
+	if err := s.ensureSubs(context.Background()); err != nil {
+		return nil
+	}
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	if s.aggSeps == nil {
+		var agg []vset.Set
+		for _, sub := range s.subs {
+			agg = append(agg, sub.seps...)
+		}
+		for _, cs := range s.dec.CliqueSeps {
+			if s.bound < 0 || cs.Len() <= s.bound {
+				agg = append(agg, cs)
+			}
+		}
+		sort.Slice(agg, func(i, j int) bool { return agg[i].Compare(agg[j]) < 0 })
+		s.aggSeps = agg
+	}
+	return s.aggSeps
+}
 
 // PMCs returns the precomputed PMC(G) (restricted by the width bound).
-func (s *Solver) PMCs() []vset.Set { return s.pmcs }
+// For a decomposed solver this is the union of the atoms' PMC sets in
+// canonical order.
+func (s *Solver) PMCs() []vset.Set {
+	if s.dec == nil {
+		return s.pmcs
+	}
+	if err := s.ensureSubs(context.Background()); err != nil {
+		return nil
+	}
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	if s.aggPMCs == nil {
+		var agg []vset.Set
+		for _, sub := range s.subs {
+			agg = append(agg, sub.pmcs...)
+		}
+		sort.Slice(agg, func(i, j int) bool { return agg[i].Compare(agg[j]) < 0 })
+		s.aggPMCs = agg
+	}
+	return s.aggPMCs
+}
 
-// NumFullBlocks returns the number of full blocks in the DP.
-func (s *Solver) NumFullBlocks() int { return len(s.blocks) - 1 }
+// NumFullBlocks returns the number of full blocks in the DP — summed over
+// the atoms for a decomposed solver.
+func (s *Solver) NumFullBlocks() int {
+	if s.dec == nil {
+		return len(s.blocks) - 1
+	}
+	if err := s.ensureSubs(context.Background()); err != nil {
+		return 0
+	}
+	total := 0
+	for _, sub := range s.subSolvers() {
+		total += sub.NumFullBlocks()
+	}
+	return total
+}
 
 // SetFullResolve disables (true) or re-enables (false) incremental reuse:
 // with full resolve on, every constrained call re-runs the whole DP from
 // scratch. This is the oracle the incremental path is property-tested
 // against and the ablation knob for benchmarks; production callers leave
 // it off. Not safe to flip while enumerations are in flight.
-func (s *Solver) SetFullResolve(on bool) { s.fullResolve = on }
+func (s *Solver) SetFullResolve(on bool) {
+	s.fullResolve = on
+	for _, sub := range s.subSolvers() {
+		sub.SetFullResolve(on)
+	}
+}
 
 // ReuseStats is a snapshot of the incremental-DP counters: how many
 // constrained solves ran, how many blocks they re-solved with a full
@@ -367,14 +590,56 @@ type ReuseStats struct {
 	ReusedBlocks      uint64 `json:"reused_blocks"`
 }
 
-// ReuseStats returns the cumulative incremental-solve counters. It is
-// safe to call concurrently with enumeration.
+// ReuseStats returns the cumulative incremental-solve counters — summed
+// over the atom sub-solvers for a decomposed solver. It is safe to call
+// concurrently with enumeration.
 func (s *Solver) ReuseStats() ReuseStats {
-	return ReuseStats{
+	out := ReuseStats{
 		ConstrainedSolves: s.statSolves.Load(),
 		DirtyBlocks:       s.statDirty.Load(),
 		ReusedBlocks:      s.statReused.Load(),
 	}
+	for _, sub := range s.subSolvers() {
+		st := sub.ReuseStats()
+		out.ConstrainedSolves += st.ConstrainedSolves
+		out.DirtyBlocks += st.DirtyBlocks
+		out.ReusedBlocks += st.ReusedBlocks
+	}
+	return out
+}
+
+// AtomInfo is a snapshot of one atom's sub-solver, reported by the
+// service layer's /v1/stats.
+type AtomInfo struct {
+	Vertices   int   `json:"vertices"`
+	Ready      bool  `json:"ready"`
+	Separators int   `json:"separators,omitempty"`
+	PMCs       int   `json:"pmcs,omitempty"`
+	FullBlocks int   `json:"full_blocks,omitempty"`
+	InitMillis int64 `json:"init_ms,omitempty"`
+}
+
+// AtomInfos describes the per-atom sub-solvers without forcing their
+// initialization: atoms whose sub-solver has not been built yet report
+// Ready=false and only their vertex count. Nil for monolithic solvers.
+func (s *Solver) AtomInfos() []AtomInfo {
+	if s.dec == nil {
+		return nil
+	}
+	subs := s.subSolvers()
+	out := make([]AtomInfo, len(s.dec.Atoms))
+	for i, a := range s.dec.Atoms {
+		out[i] = AtomInfo{Vertices: a.Vertices.Len()}
+		if subs != nil && subs[i] != nil {
+			sub := subs[i]
+			out[i].Ready = true
+			out[i].Separators = len(sub.seps)
+			out[i].PMCs = len(sub.pmcs)
+			out[i].FullBlocks = sub.NumFullBlocks()
+			out[i].InitMillis = sub.InitDuration.Milliseconds()
+		}
+	}
+	return out
 }
 
 // blockSol is the per-constraint-set DP value of one block.
@@ -449,7 +714,94 @@ func (s *Solver) MinTriang(cons *cost.Constraints) (*Result, error) {
 	if s.g.NumVertices() == 0 {
 		return &Result{H: s.g.Clone(), Tree: td.New(), Cost: s.evalBags(s.g, nil)}, nil
 	}
+	if s.dec != nil {
+		return s.minTriangAtoms(context.Background(), cons)
+	}
 	return s.minTriangCompiled(s.compileConstraints(cons))
+}
+
+// minTriangAtoms answers MinTriang on a decomposed solver: constraints
+// are routed to the single atom that can decide them, each atom solves
+// its restricted problem, and the per-atom optima are glued. Correctness
+// rests on Leimer's factorization (minimal triangulations of G = unions
+// of independent minimal triangulations of the atoms) plus the merge rule
+// of the cost, under which the union of per-atom optima is a global
+// optimum.
+func (s *Solver) minTriangAtoms(ctx context.Context, cons *cost.Constraints) (*Result, error) {
+	if err := s.ensureSubs(ctx); err != nil {
+		return nil, err
+	}
+	perAtom, err := s.splitConstraints(cons)
+	if err != nil {
+		return nil, err
+	}
+	subs := s.subSolvers()
+	parts := make([]*Result, len(subs))
+	for i, sub := range subs {
+		r, err := sub.MinTriang(perAtom[i])
+		if err != nil {
+			return nil, ErrNoTriangulation
+		}
+		parts[i] = r
+	}
+	return s.combineResults(parts), nil
+}
+
+// splitConstraints routes each constraint separator of [I, X] to the one
+// atom that can decide it, exploiting that every clique of a minimal
+// triangulation lies inside a single atom (no H-edge crosses a clique
+// separator):
+//
+//   - a separator that is already a clique of G is a clique of every
+//     triangulation: an inclusion is vacuous, an exclusion unsatisfiable;
+//   - a separator inside an atom becomes a clique of H iff it becomes a
+//     clique of that atom's triangulation (atoms overlap only in cliques
+//     of G, so the atom is unique), and is routed there;
+//   - a separator inside no atom can never become a clique: an inclusion
+//     is unsatisfiable, an exclusion vacuous.
+//
+// The unsatisfiable cases return ErrNoTriangulation.
+func (s *Solver) splitConstraints(cons *cost.Constraints) ([]*cost.Constraints, error) {
+	out := make([]*cost.Constraints, len(s.dec.Atoms))
+	if cons.IsEmpty() {
+		return out, nil
+	}
+	route := func(sep vset.Set, include bool) (bool, error) {
+		if s.g.IsClique(sep) {
+			if include {
+				return false, nil // vacuously satisfied
+			}
+			return false, ErrNoTriangulation
+		}
+		for i, a := range s.dec.Atoms {
+			if sep.SubsetOf(a.Vertices) {
+				if out[i] == nil {
+					out[i] = &cost.Constraints{}
+				}
+				if include {
+					out[i].Include = append(out[i].Include, sep)
+				} else {
+					out[i].Exclude = append(out[i].Exclude, sep)
+				}
+				return true, nil
+			}
+		}
+		if include {
+			return false, ErrNoTriangulation // can never become a clique
+		}
+		return false, nil // vacuously excluded
+	}
+	for _, sep := range cons.Include {
+		if _, err := route(sep, true); err != nil {
+			return nil, err
+		}
+	}
+	for _, sep := range cons.Exclude {
+		if _, err := route(sep, false); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // minTriangCompiled is the internal entry point shared by MinTriang and

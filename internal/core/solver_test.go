@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -330,21 +331,58 @@ func TestBoundedWidthSolver(t *testing.T) {
 
 func TestSolverAccessors(t *testing.T) {
 	g := gen.PaperExample()
+	// The paper example has a cut vertex (v), so the default solver routes
+	// through the atom decomposition; its separator and PMC aggregates
+	// must still be exactly MinSep(G) and PMC(G).
 	s := NewSolver(g, cost.Width{})
+	if !s.Decomposed() {
+		t.Fatalf("paper example should decompose (v is a cut vertex)")
+	}
 	if len(s.MinimalSeparators()) != 3 {
 		t.Fatalf("seps = %d", len(s.MinimalSeparators()))
 	}
 	if len(s.PMCs()) != 6 {
 		t.Fatalf("pmcs = %d", len(s.PMCs()))
 	}
-	if s.NumFullBlocks() != 7 {
-		t.Fatalf("full blocks = %d", s.NumFullBlocks())
-	}
 	if s.Graph() != g || s.Cost().Name() != "width" {
 		t.Fatalf("accessors broken")
 	}
 	if s.InitDuration <= 0 {
 		t.Fatalf("init duration not recorded")
+	}
+	// The decomposed block count sums the atoms' DPs: the atoms
+	// {u,v,w1..w3} and {v,v'} have 4 and 1 full blocks respectively, plus
+	// one virtual top block each.
+	if s.NumFullBlocks() != 5 {
+		t.Fatalf("decomposed full blocks = %d, want 5", s.NumFullBlocks())
+	}
+	infos := s.AtomInfos()
+	sum := 0
+	for _, ai := range infos {
+		if !ai.Ready {
+			t.Fatalf("sub-solver not built after NumFullBlocks: %+v", ai)
+		}
+		sum += ai.FullBlocks
+	}
+	if sum != s.NumFullBlocks() {
+		t.Fatalf("AtomInfos blocks sum %d != NumFullBlocks %d", sum, s.NumFullBlocks())
+	}
+
+	mono, err := New(context.Background(), g, cost.Width{}, Options{NoDecompose: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mono.Decomposed() {
+		t.Fatalf("NoDecompose solver still decomposed")
+	}
+	if len(mono.MinimalSeparators()) != 3 {
+		t.Fatalf("mono seps = %d", len(mono.MinimalSeparators()))
+	}
+	if len(mono.PMCs()) != 6 {
+		t.Fatalf("mono pmcs = %d", len(mono.PMCs()))
+	}
+	if mono.NumFullBlocks() != 7 {
+		t.Fatalf("mono full blocks = %d", mono.NumFullBlocks())
 	}
 }
 

@@ -45,6 +45,38 @@ type Combinable interface {
 	Value(g *graph.Graph, max, sum float64) float64
 }
 
+// MergeKind says how a cost combines across the clique-separator atoms of
+// a graph, where a minimal triangulation is the union of independent
+// minimal triangulations of the atoms (Leimer).
+type MergeKind int
+
+const (
+	// NoMerge marks costs with no exact atom-wise combination rule; the
+	// solver falls back to the monolithic whole-graph DP for them.
+	NoMerge MergeKind = iota
+	// MergeMax: the cost of the union is the maximum of the atom costs
+	// (pure max-type costs — width, weighted width, hypertree widths).
+	MergeMax
+	// MergeSum: the cost of the union is the sum of the atom costs
+	// (pure sum-type costs — fill-in, weighted fill, total state space;
+	// exact because atoms overlap only in cliques of G, so no fill edge
+	// and no bag is shared between atoms).
+	MergeSum
+)
+
+// Mergeable is implemented by costs that declare an atom-wise combination
+// rule. Only such costs are eligible for the decomposed solver: the
+// ranked product-stream merge needs the combined cost to be monotone in
+// each atom's own cost stream, which holds for pure max- and pure
+// sum-type costs but not for mixed ones (LexWidthFill orders by
+// multiplier·max + sum, where advancing one atom past a width tie can
+// lower the combined fill while another atom dominates the width — see
+// DESIGN.md).
+type Mergeable interface {
+	Cost
+	MergeKind() MergeKind
+}
+
 // missingPairs counts pairs within omega that are non-adjacent in g and
 // not both inside sep.
 func missingPairs(g *graph.Graph, omega, sep vset.Set) int {
@@ -115,6 +147,9 @@ func (Width) BagSum(_ *graph.Graph, _, _ vset.Set) float64 { return 0 }
 // Value implements Combinable.
 func (Width) Value(_ *graph.Graph, max, _ float64) float64 { return max }
 
+// MergeKind implements Mergeable: width folds as a maximum over atoms.
+func (Width) MergeKind() MergeKind { return MergeMax }
+
 // FillIn is the classic fill-in cost: the number of edges added by
 // saturating every bag.
 type FillIn struct{}
@@ -139,6 +174,11 @@ func (FillIn) BagSum(g *graph.Graph, omega, sep vset.Set) float64 {
 
 // Value implements Combinable.
 func (FillIn) Value(_ *graph.Graph, _, sum float64) float64 { return sum }
+
+// MergeKind implements Mergeable: fill edges of distinct atoms are
+// disjoint (a shared pair would lie inside a clique separator, hence be
+// an edge of G), so fill folds as a sum.
+func (FillIn) MergeKind() MergeKind { return MergeSum }
 
 // WeightedWidth is Furuse–Yamazaki's width_c: the maximum over bags of a
 // user-supplied bag score (e.g. the log of the joint domain size in
@@ -181,6 +221,9 @@ func (c WeightedWidth) BagSum(_ *graph.Graph, _, _ vset.Set) float64 { return 0 
 
 // Value implements Combinable.
 func (c WeightedWidth) Value(_ *graph.Graph, max, _ float64) float64 { return max }
+
+// MergeKind implements Mergeable: a pure max-type cost.
+func (c WeightedWidth) MergeKind() MergeKind { return MergeMax }
 
 // WeightedFill is Furuse–Yamazaki's fill_c: the sum over added edges of a
 // per-edge weight.
@@ -244,6 +287,10 @@ func (c WeightedFill) BagSum(g *graph.Graph, omega, sep vset.Set) float64 {
 // Value implements Combinable.
 func (c WeightedFill) Value(_ *graph.Graph, _, sum float64) float64 { return sum }
 
+// MergeKind implements Mergeable: a pure sum-type cost over disjoint
+// fill sets.
+func (c WeightedFill) MergeKind() MergeKind { return MergeSum }
+
 // TotalStateSpace is the paper's "sum over the exponents of the bag
 // cardinalities": Σ over bags of Π over bag members of the member's domain
 // size — exactly the total clique-table size of a junction tree in
@@ -294,6 +341,11 @@ func (c TotalStateSpace) BagSum(_ *graph.Graph, omega, _ vset.Set) float64 {
 
 // Value implements Combinable.
 func (c TotalStateSpace) Value(_ *graph.Graph, _, sum float64) float64 { return sum }
+
+// MergeKind implements Mergeable: bags of distinct atoms are distinct
+// (a shared bag would sit inside a clique separator and be subsumed by a
+// larger clique), so table sizes fold as a sum.
+func (c TotalStateSpace) MergeKind() MergeKind { return MergeSum }
 
 // LexWidthFill orders decompositions by width first and fill second, via
 // the linear combination multiplier·width + fill the paper suggests

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"repro/internal/graph"
+	"repro/internal/vset"
 )
 
 // GNP draws an Erdős–Rényi G(n, p) graph from rng.
@@ -156,6 +157,85 @@ func CSPGrid(rng *rand.Rand, rows, cols, extra int) *graph.Graph {
 		u, v := rng.Intn(n), rng.Intn(n)
 		if u != v && !g.HasEdge(u, v) {
 			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// TreePlusChords draws a random tree on n vertices and adds up to
+// `chords` random extra edges (duplicate draws are tolerated, not
+// retried, so sparse graphs terminate). Trees decompose completely
+// (every edge is a clique separator); a few chords leave most cut
+// vertices intact while creating non-trivial atoms — the
+// clique-separated family the atom decomposition is benchmarked and
+// oracle-tested on.
+func TreePlusChords(rng *rand.Rand, n, chords int) *graph.Graph {
+	g := graph.New(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(perm[i], perm[rng.Intn(i)])
+	}
+	for added := 0; added < chords; {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.AddEdge(u, v)
+			added++
+		} else {
+			added++ // tolerate duplicates so sparse graphs terminate
+		}
+	}
+	return g
+}
+
+// CliqueChain chains `blobs` dense G(blobSize, p) blobs, consecutive blobs
+// sharing a saturated `sepSize`-clique. Each shared clique is a clique
+// minimal separator, so the graph decomposes into `blobs` atoms of
+// blobSize vertices each — the workload where decomposition turns one
+// |MinSep|-exponential instance into many small ones.
+func CliqueChain(rng *rand.Rand, blobs, blobSize, sepSize int, p float64) *graph.Graph {
+	if sepSize >= blobSize {
+		panic("gen: CliqueChain separator must be smaller than the blob")
+	}
+	stride := blobSize - sepSize
+	n := blobSize + (blobs-1)*stride
+	g := graph.New(n)
+	for b := 0; b < blobs; b++ {
+		lo := b * stride
+		for i := lo; i < lo+blobSize; i++ {
+			for j := i + 1; j < lo+blobSize; j++ {
+				if rng.Float64() < p {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		// Saturate the shared boundary cliques and keep the blob connected
+		// through them.
+		for i := lo; i < lo+sepSize; i++ {
+			for j := i + 1; j < lo+sepSize; j++ {
+				if !g.HasEdge(i, j) {
+					g.AddEdge(i, j)
+				}
+			}
+			for j := lo + sepSize; j < lo+blobSize; j++ {
+				if !g.HasEdge(i, j) && rng.Float64() < 0.8 {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+	}
+	// Guarantee connectivity: link every component of a blob's induced
+	// subgraph to the blob's first boundary vertex (isolated-vertex checks
+	// alone would miss detached interior pairs at low p).
+	for b := 0; b < blobs; b++ {
+		lo := b * stride
+		blob := vset.New(n)
+		for j := lo; j < lo+blobSize; j++ {
+			blob.AddInPlace(j)
+		}
+		for _, comp := range g.ComponentsWithin(blob) {
+			if !comp.Contains(lo) {
+				g.AddEdge(comp.First(), lo)
+			}
 		}
 	}
 	return g

@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets for the text parsers: any input must either parse into a
+// well-formed graph or return an error — never panic, and never allocate
+// adjacency structures for a vertex count the input cannot justify
+// (CVE-class "small request, huge allocation" behaviour). Round-trip
+// checks run on the accepting paths so the fuzzer also exercises the
+// writers.
+//
+// CI runs each target briefly (see .github/workflows/ci.yml); longer
+// local sessions: go test ./internal/graph -run='^$' -fuzz=FuzzReadGraph6
+
+func checkParsed(t *testing.T, g *Graph) {
+	t.Helper()
+	if g == nil {
+		t.Fatal("nil graph without error")
+	}
+	if g.Universe() < 0 || g.Universe() > maxParseVertices {
+		t.Fatalf("parsed universe %d out of bounds", g.Universe())
+	}
+	// Exercise the basic invariants the rest of the code base assumes.
+	_ = g.NumEdges()
+	_ = g.Vertices().Len()
+}
+
+func FuzzReadGraph6(f *testing.F) {
+	f.Add("DqK")                  // C5
+	f.Add(">>graph6<<DqK\nD?{\n") // header + two graphs
+	f.Add("~??~?????")            // 4-byte N(n) form
+	f.Add("~~~~~~")               // unsupported large-n prefix
+	f.Add("C")                    // truncated payload
+	f.Add(string([]byte{62, 63})) // invalid character
+	f.Fuzz(func(t *testing.T, data string) {
+		gs, err := ReadGraph6(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, g := range gs {
+			checkParsed(t, g)
+			// Round-trip: re-encode and re-parse to the same edge set.
+			var buf bytes.Buffer
+			if err := WriteGraph6(&buf, g); err != nil {
+				t.Fatalf("re-encode failed: %v", err)
+			}
+			back, err := ReadGraph6(&buf)
+			if err != nil || len(back) != 1 {
+				t.Fatalf("round trip failed: %v (%d graphs)", err, len(back))
+			}
+			if back[0].EdgeSetKey() != g.EdgeSetKey() {
+				t.Fatal("round trip changed the edge set")
+			}
+		}
+	})
+}
+
+func FuzzReadDIMACS(f *testing.F) {
+	f.Add("p edge 3 2\ne 1 2\ne 2 3\n")
+	f.Add("c comment\np edge 2 1\ne 1 2\n")
+	f.Add("p edge -5 0\n")
+	f.Add("p edge 999999999 0\n")
+	f.Add("e 1 2\np edge 2 1\n")
+	f.Add("p edge 2 1\ne 1 1\ne 1 2\ne 1 2\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		g, err := ReadDIMACS(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		checkParsed(t, g)
+	})
+}
+
+func FuzzReadPACE(f *testing.F) {
+	f.Add("p tw 3 2\n1 2\n2 3\n")
+	f.Add("c header\np tw 4 1\n1 4\n")
+	f.Add("p tw -1 0\n")
+	f.Add("p tw 100000000 0\n")
+	f.Add("1 2\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		g, err := ReadPACE(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		checkParsed(t, g)
+		var buf bytes.Buffer
+		if err := WritePACE(&buf, g); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := ReadPACE(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.NumEdges() != g.NumEdges() {
+			t.Fatal("round trip changed the edge count")
+		}
+	})
+}
+
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("a b\nb c\n")
+	f.Add("# comment\n1 2\n2 1\n1 1\n")
+	f.Add("x y z\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		g, err := ReadEdgeList(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		checkParsed(t, g)
+	})
+}

@@ -9,6 +9,25 @@ import (
 	"strings"
 )
 
+// maxParseVertices caps the vertex count a parsed header (or an edge
+// list's distinct-token count) may claim. The adjacency representation is
+// a dense bitset per vertex — n²/8 bytes total — so a forged header
+// claiming millions of vertices would buy gigabytes of allocation from a
+// few input bytes; anything near this cap is already far beyond what the
+// solver can process.
+const maxParseVertices = 1 << 15
+
+// checkParsedN validates a header-claimed vertex count.
+func checkParsedN(format string, n int) error {
+	if n < 0 {
+		return fmt.Errorf("%s: negative vertex count %d", format, n)
+	}
+	if n > maxParseVertices {
+		return fmt.Errorf("%s: %d vertices exceeds the parser limit %d", format, n, maxParseVertices)
+	}
+	return nil
+}
+
 // ReadEdgeList parses a plain edge list: one "u v" pair per line, with
 // vertices named by arbitrary tokens. Lines starting with '#' and blank
 // lines are skipped. Vertex numbers are assigned in order of first
@@ -33,6 +52,9 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		}
 		for _, tok := range fields {
 			if _, ok := index[tok]; !ok {
+				if len(order) >= maxParseVertices {
+					return nil, fmt.Errorf("edge list line %d: more than %d distinct vertices", line, maxParseVertices)
+				}
 				index[tok] = len(order)
 				order = append(order, tok)
 			}
@@ -78,6 +100,9 @@ func ReadDIMACS(r io.Reader) (*Graph, error) {
 			n, err := strconv.Atoi(fields[2])
 			if err != nil {
 				return nil, fmt.Errorf("dimacs line %d: %v", line, err)
+			}
+			if err := checkParsedN("dimacs", n); err != nil {
+				return nil, err
 			}
 			g = New(n)
 		case "e":
@@ -132,6 +157,9 @@ func ReadPACE(r io.Reader) (*Graph, error) {
 			n, err := strconv.Atoi(fields[2])
 			if err != nil {
 				return nil, fmt.Errorf("pace line %d: %v", line, err)
+			}
+			if err := checkParsedN("pace", n); err != nil {
+				return nil, err
 			}
 			g = New(n)
 			continue

@@ -46,7 +46,8 @@
 //	  "cache_hit": true,           // solver served from the pool
 //	  "cost": "width",
 //	  "graph": {"n": 4, "m": 3, "fingerprint": "9057…"},
-//	  "solver": {"minimal_separators": 2, "pmcs": 4, "full_blocks": 4, "init_ms": 0},
+//	  "solver": {"minimal_separators": 2, "pmcs": 4, "full_blocks": 4, "init_ms": 0,
+//	             "atoms": 2, "largest_atom": 3},  // atom fields only when decomposed
 //	  "results": [{"index": 0, "cost": 1, "width": 1, "fill": 0,
 //	               "bags": [[0,1],[1,2]], "separators": [[1]]}, …]
 //	}
@@ -82,7 +83,19 @@
 // (reused_blocks); the reuse ratio measures how much enumeration work
 // the incremental DP absorbs. Config.FullResolve disables the reuse
 // server-wide (every branch re-runs the full DP) for A/B debugging — the
-// enumeration output is identical either way. GET /healthz — liveness.
+// enumeration output is identical either way.
+//
+// Stats also aggregate the clique-separator atom decompositions of the
+// cached solvers:
+//
+//	"atoms": {"decomposed_solvers": 3, "total_atoms": 11,
+//	          "largest_atom": 9, "ready_sub_solvers": 11}
+//
+// Graphs that split on clique minimal separators are solved one atom at
+// a time with the ranked streams merged, so initialization and delay
+// depend on the largest atom rather than the whole graph;
+// Config.NoDecompose (-no-decompose) forces the monolithic solver for
+// A/B debugging. GET /healthz — liveness.
 //
 // Errors are {"error": "…"} with a 4xx/5xx status: 400 for malformed
 // graphs or unknown costs, 404 for unknown sessions, 429 when the session

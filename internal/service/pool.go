@@ -185,6 +185,32 @@ func (p *SolverPool) ReuseStats() core.ReuseStats {
 	return total
 }
 
+// AtomStats aggregates the atom decompositions of the currently cached
+// solvers (see the type's doc in types.go).
+func (p *SolverPool) AtomStats() AtomStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out AtomStats
+	for e := p.lru.Front(); e != nil; e = e.Next() {
+		solver := e.Value.(*poolEntry).solver
+		infos := solver.AtomInfos()
+		if infos == nil {
+			continue
+		}
+		out.DecomposedSolvers++
+		out.TotalAtoms += len(infos)
+		for _, ai := range infos {
+			if ai.Vertices > out.LargestAtom {
+				out.LargestAtom = ai.Vertices
+			}
+			if ai.Ready {
+				out.ReadySubSolvers++
+			}
+		}
+	}
+	return out
+}
+
 // Stats returns a snapshot of the pool counters.
 func (p *SolverPool) Stats() PoolStats {
 	p.mu.Lock()

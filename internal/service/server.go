@@ -11,7 +11,6 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/cost"
 	"repro/internal/graph"
 )
 
@@ -45,6 +44,13 @@ type Config struct {
 	// the enumeration output is identical either way (property-tested in
 	// core) — so production deployments leave it false.
 	FullResolve bool
+	// NoDecompose disables the clique-separator atom decomposition on
+	// every solver this server builds: graphs are always solved
+	// monolithically. Another ablation knob — the enumeration output is
+	// identical up to cost ties (property-tested in core), but
+	// initialization and per-result delay on clique-separated graphs are
+	// exponentially worse — so production deployments leave it false.
+	NoDecompose bool
 }
 
 func (c Config) withDefaults() Config {
@@ -191,14 +197,20 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	solver, hit, err := s.pool.Get(ctx, key, func(bctx context.Context) (*core.Solver, error) {
 		bctx, cancel := context.WithTimeout(bctx, s.cfg.InitTimeout)
 		defer cancel()
-		build := core.NewSolverContext
+		opts := core.Options{NoDecompose: s.cfg.NoDecompose}
 		if bound >= 0 {
-			build = func(bctx context.Context, g *graph.Graph, c cost.Cost) (*core.Solver, error) {
-				return core.NewBoundedSolverContext(bctx, g, c, bound)
-			}
+			b := bound
+			opts.WidthBound = &b
 		}
-		solver, err := build(bctx, g, c)
+		solver, err := core.New(bctx, g, c, opts)
 		if err != nil {
+			return nil, err
+		}
+		// Force the decomposed solver's lazy per-atom initialization here,
+		// inside the timeout-bounded singleflight build, so a huge atom
+		// cannot smuggle unbounded init work past InitTimeout into the
+		// first paging call.
+		if err := solver.Prepare(bctx); err != nil {
 			return nil, err
 		}
 		// Applied inside the build, before the solver is published to any
@@ -243,13 +255,8 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		CacheHit: hit,
 		Cost:     c.Name(),
 		Graph:    &GraphInfo{N: g.Universe(), M: g.NumEdges(), Fingerprint: key.Fingerprint},
-		Solver: &SolverInfo{
-			MinimalSeparators: len(solver.MinimalSeparators()),
-			PMCs:              len(solver.PMCs()),
-			FullBlocks:        solver.NumFullBlocks(),
-			InitMillis:        solver.InitDuration.Milliseconds(),
-		},
-		Results: pageJSON(g, 0, results),
+		Solver:   solverInfo(solver),
+		Results:  pageJSON(g, 0, results),
 	}
 	if !done {
 		resp.Session = sess.Token
@@ -401,12 +408,29 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Pool:          s.pool.Stats(),
 		Sessions:      s.sessions.Stats(),
 		Solver:        s.pool.ReuseStats(),
+		Atoms:         s.pool.AtomStats(),
 	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.Write([]byte("ok\n"))
+}
+
+// solverInfo snapshots one solver for the enumerate response, including
+// the atom decomposition shape when the solver routes through it.
+func solverInfo(solver *core.Solver) *SolverInfo {
+	info := &SolverInfo{
+		MinimalSeparators: len(solver.MinimalSeparators()),
+		PMCs:              len(solver.PMCs()),
+		FullBlocks:        solver.NumFullBlocks(),
+		InitMillis:        solver.InitDuration.Milliseconds(),
+	}
+	if dec := solver.Atoms(); dec != nil {
+		info.Atoms = dec.Count()
+		info.LargestAtom = dec.LargestAtom()
+	}
+	return info
 }
 
 func pageJSON(g *graph.Graph, start int, results []*core.Result) []TriangulationJSON {

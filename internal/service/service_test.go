@@ -653,3 +653,60 @@ func TestStatsSolverReuseCounters(t *testing.T) {
 		t.Fatalf("full-resolve solver should bypass the incremental counters, got %d solves", fullStats.Solver.ConstrainedSolves)
 	}
 }
+
+// TestAtomDecompositionService drives a clique-separated graph through
+// both a default server and a NoDecompose server: the decomposed solver
+// must report its atom shape in the enumerate response and /v1/stats, and
+// the two servers must emit the same enumeration (costs, widths, fills)
+// rank by rank.
+func TestAtomDecompositionService(t *testing.T) {
+	// Two 4-cycles sharing a cut vertex: two atoms of 4 vertices each.
+	g := graph.New(7)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {3, 4}, {4, 5}, {5, 6}, {6, 3}} {
+		g.AddEdge(e[0], e[1])
+	}
+	var buf bytes.Buffer
+	if err := graph.WriteGraph6(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g6 := strings.TrimSpace(buf.String())
+	body := fmt.Sprintf(`{"graph6": %q, "cost": "fill", "page_size": 100}`, g6)
+
+	_, tsDec := newTestServer(t, Config{})
+	dec, _ := postEnumerate(t, tsDec, body)
+	if dec.Solver == nil || dec.Solver.Atoms < 2 {
+		t.Fatalf("expected a decomposed solver, got %+v", dec.Solver)
+	}
+	if dec.Solver.LargestAtom >= 7 {
+		t.Fatalf("largest atom %d should be smaller than the graph", dec.Solver.LargestAtom)
+	}
+	stats := getStats(t, tsDec)
+	if stats.Atoms.DecomposedSolvers != 1 || stats.Atoms.TotalAtoms != dec.Solver.Atoms {
+		t.Fatalf("atom stats %+v inconsistent with solver info %+v", stats.Atoms, dec.Solver)
+	}
+	if stats.Atoms.ReadySubSolvers != dec.Solver.Atoms {
+		t.Fatalf("expected all %d sub-solvers ready after paging, got %d", dec.Solver.Atoms, stats.Atoms.ReadySubSolvers)
+	}
+
+	_, tsMono := newTestServer(t, Config{NoDecompose: true})
+	mono, _ := postEnumerate(t, tsMono, body)
+	if mono.Solver.Atoms != 0 {
+		t.Fatalf("NoDecompose server reported atoms: %+v", mono.Solver)
+	}
+	if !dec.Done || !mono.Done {
+		t.Fatalf("enumerations not exhausted in one page: dec=%v mono=%v", dec.Done, mono.Done)
+	}
+	if len(dec.Results) == 0 || len(dec.Results) != len(mono.Results) {
+		t.Fatalf("result counts differ: %d vs %d", len(dec.Results), len(mono.Results))
+	}
+	for i := range dec.Results {
+		d, m := dec.Results[i], mono.Results[i]
+		if d.Cost != m.Cost || d.Width != m.Width || d.Fill != m.Fill {
+			t.Fatalf("rank %d differs: decomposed %+v, monolithic %+v", i, d, m)
+		}
+	}
+	// The aggregated separator/PMC counts must agree across the modes.
+	if dec.Solver.MinimalSeparators != mono.Solver.MinimalSeparators || dec.Solver.PMCs != mono.Solver.PMCs {
+		t.Fatalf("aggregate counts differ: %+v vs %+v", dec.Solver, mono.Solver)
+	}
+}

@@ -49,12 +49,16 @@ type GraphInfo struct {
 }
 
 // SolverInfo reports the initialization statistics of the solver that
-// served the request (the "init" column of the paper's Table 2).
+// served the request (the "init" column of the paper's Table 2). For a
+// decomposed solver the separator/PMC/block counts aggregate over the
+// atoms and Atoms/LargestAtom describe the decomposition.
 type SolverInfo struct {
 	MinimalSeparators int   `json:"minimal_separators"`
 	PMCs              int   `json:"pmcs"`
 	FullBlocks        int   `json:"full_blocks"`
 	InitMillis        int64 `json:"init_ms"`
+	Atoms             int   `json:"atoms,omitempty"`
+	LargestAtom       int   `json:"largest_atom,omitempty"`
 }
 
 // EnumerateResponse is the body returned by POST /v1/enumerate and, with
@@ -77,16 +81,30 @@ type SessionInfo struct {
 	IdleSeconds float64 `json:"idle_seconds"`
 }
 
+// AtomStats aggregates the clique-separator decompositions of the cached
+// solvers for GET /v1/stats: how many solvers decomposed, the total atom
+// count across them, the largest atom seen (the quantity that actually
+// bounds the exponential work), and how many per-atom sub-solvers have
+// been lazily initialized so far.
+type AtomStats struct {
+	DecomposedSolvers int `json:"decomposed_solvers"`
+	TotalAtoms        int `json:"total_atoms"`
+	LargestAtom       int `json:"largest_atom"`
+	ReadySubSolvers   int `json:"ready_sub_solvers"`
+}
+
 // StatsResponse is the body of GET /v1/stats. Solver aggregates the
 // incremental-DP reuse counters (see core.ReuseStats) over the cached
 // solvers: dirty_blocks were re-solved under Lawler–Murty constraints,
 // reused_blocks came straight from each solver's unconstrained baseline.
+// Atoms aggregates the clique-separator decompositions of those solvers.
 type StatsResponse struct {
 	UptimeSeconds float64         `json:"uptime_seconds"`
 	Requests      uint64          `json:"requests"`
 	Pool          PoolStats       `json:"pool"`
 	Sessions      SessionStats    `json:"sessions"`
 	Solver        core.ReuseStats `json:"solver"`
+	Atoms         AtomStats       `json:"atoms"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

@@ -40,10 +40,21 @@ func LBTriang(g *graph.Graph, order []int) *graph.Graph {
 // Ties are broken by smallest vertex number, making the result
 // deterministic.
 func MCSM(g *graph.Graph) *graph.Graph {
+	h, _ := MCSMOrder(g)
+	return h
+}
+
+// MCSMOrder is MCSM returning also the order in which the vertices were
+// numbered. The reverse of that order is a minimal elimination ordering of
+// the returned triangulation (Berry, Blair, Heggernes, Peyton 2004) — the
+// ordering the clique-minimal-separator decomposition of internal/atoms
+// consumes.
+func MCSMOrder(g *graph.Graph) (*graph.Graph, []int) {
 	n := g.Universe()
 	h := g.Clone()
 	weight := make([]int, n)
 	numbered := vset.New(n)
+	order := make([]int, 0, g.NumVertices())
 	remaining := g.NumVertices()
 	for step := 0; step < remaining; step++ {
 		// Pick unnumbered vertex of maximum weight.
@@ -108,8 +119,9 @@ func MCSM(g *graph.Graph) *graph.Graph {
 			}
 		}
 		numbered.AddInPlace(v)
+		order = append(order, v)
 	}
-	return h
+	return h, order
 }
 
 // Minimal returns a deterministic minimal triangulation of g (LB-Triang in

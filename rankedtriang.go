@@ -27,6 +27,7 @@ import (
 	"context"
 	"io"
 
+	"repro/internal/atoms"
 	"repro/internal/ckk"
 	"repro/internal/core"
 	"repro/internal/cost"
@@ -132,7 +133,37 @@ func EdgeWeightCost(name string, weight func(u, v int) float64) Cost {
 // NewSolver initializes the solver for g under the given cost: it
 // computes the minimal separators, potential maximal cliques and full
 // blocks once; all queries share them.
+//
+// When the graph splits into several clique-separator atoms and the cost
+// folds across them (all pure max- and sum-type built-ins do), the solver
+// automatically routes through the atom decomposition: one sub-solver per
+// atom, initialized lazily and in parallel, with the per-atom ranked
+// streams merged into one globally cost-ordered stream. Initialization
+// and delay then depend on the largest atom instead of the whole graph.
+// Use SolverOptions.NoDecompose to force the monolithic solver.
 func NewSolver(g *Graph, c Cost) *Solver { return core.NewSolver(g, c) }
+
+// SolverOptions configures NewSolverWithOptions: an optional width bound
+// and the NoDecompose ablation knob that forces the monolithic
+// whole-graph solver.
+type SolverOptions = core.Options
+
+// NewSolverWithOptions is the fully configurable solver constructor.
+func NewSolverWithOptions(ctx context.Context, g *Graph, c Cost, opts SolverOptions) (*Solver, error) {
+	return core.New(ctx, g, c, opts)
+}
+
+// AtomDecomposition is the clique-minimal-separator decomposition of a
+// graph: its atoms (maximal connected subgraphs without a clique
+// separator) and the clique minimal separators between them.
+type AtomDecomposition = atoms.Decomposition
+
+// DecomposeAtoms computes the atom decomposition of g (Tarjan; Berry–
+// Bordat). Minimal triangulations factor across it: every minimal
+// triangulation of g is the union of independent minimal triangulations
+// of the atoms, which is what lets the solver enumerate per atom and
+// merge ranked streams.
+func DecomposeAtoms(g *Graph) *AtomDecomposition { return atoms.Decompose(g) }
 
 // NewSolverContext is NewSolver with cancellation: initialization aborts
 // with ctx's error when ctx is cancelled or times out. Long-lived callers
@@ -161,8 +192,8 @@ func TopK(g *Graph, c Cost, k int) []*Result {
 // TopKContext is TopK with cancellation and parallel Lawler–Murty branch
 // solving: it stops early (possibly short of k results) once ctx is
 // cancelled, and solves branch optimizations with the given worker count
-// (values < 2 mean sequential). The emitted prefix is identical to the
-// sequential TopK.
+// (1 means sequential; zero or negative means GOMAXPROCS). The emitted
+// prefix is identical to the sequential TopK.
 func TopKContext(ctx context.Context, g *Graph, c Cost, k, workers int) ([]*Result, error) {
 	s, err := core.NewSolverContext(ctx, g, c)
 	if err != nil {
