@@ -40,6 +40,7 @@ func main() {
 		maxVertices   = flag.Int("max-vertices", 128, "reject graphs larger than this")
 		initTimeout   = flag.Duration("init-timeout", 60*time.Second, "per-graph solver initialization budget")
 		streamTimeout = flag.Duration("stream-timeout", 5*time.Minute, "total lifetime budget of one NDJSON stream")
+		streamBudget  = flag.Int64("stream-budget", 64<<20, "byte budget for shared materialized result buffers (LRU-evicted past it)")
 		fullResolve   = flag.Bool("full-resolve", false, "disable the incremental DP: every branch re-solves from scratch (A/B debugging; identical output)")
 		noDecompose   = flag.Bool("no-decompose", false, "disable the clique-separator atom decomposition: always solve the whole graph monolithically (A/B debugging)")
 		drain         = flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
@@ -47,16 +48,17 @@ func main() {
 	flag.Parse()
 
 	svc := service.New(service.Config{
-		CacheSize:     *cacheSize,
-		MaxSessions:   *maxSessions,
-		IdleTimeout:   *idleTimeout,
-		PageSize:      *pageSize,
-		MaxConcurrent: *concurrency,
-		MaxVertices:   *maxVertices,
-		InitTimeout:   *initTimeout,
-		StreamTimeout: *streamTimeout,
-		FullResolve:   *fullResolve,
-		NoDecompose:   *noDecompose,
+		CacheSize:         *cacheSize,
+		MaxSessions:       *maxSessions,
+		IdleTimeout:       *idleTimeout,
+		PageSize:          *pageSize,
+		MaxConcurrent:     *concurrency,
+		MaxVertices:       *maxVertices,
+		InitTimeout:       *initTimeout,
+		StreamTimeout:     *streamTimeout,
+		StreamBudgetBytes: *streamBudget,
+		FullResolve:       *fullResolve,
+		NoDecompose:       *noDecompose,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -30,7 +30,10 @@ func (e *Enumerator) Next() (*Result, bool) {
 }
 
 // Remaining reports how many partitions (monolithic) or product-frontier
-// combinations (decomposed) are currently queued — instrumentation.
+// combinations (decomposed) are currently queued. Pure instrumentation
+// for tests and debugging — it is deliberately no longer exposed on the
+// service wire, where it was misleading metadata (neither a bound on
+// remaining results nor a measure of buffered work).
 func (e *Enumerator) Remaining() int {
 	if e.pm != nil {
 		return e.pm.Remaining()
@@ -72,9 +75,9 @@ func (q partitionQueue) Less(i, j int) bool {
 	}
 	return q[i].seq < q[j].seq
 }
-func (q partitionQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *partitionQueue) Push(x interface{}) { *q = append(*q, x.(*partition)) }
-func (q *partitionQueue) Pop() interface{} {
+func (q partitionQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *partitionQueue) Push(x any)   { *q = append(*q, x.(*partition)) }
+func (q *partitionQueue) Pop() any {
 	old := *q
 	n := len(old)
 	item := old[n-1]

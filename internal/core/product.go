@@ -144,9 +144,9 @@ func (q comboQueue) Less(i, j int) bool {
 	}
 	return q[i].seq < q[j].seq
 }
-func (q comboQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *comboQueue) Push(x interface{}) { *q = append(*q, x.(*combo)) }
-func (q *comboQueue) Pop() interface{} {
+func (q comboQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *comboQueue) Push(x any)   { *q = append(*q, x.(*combo)) }
+func (q *comboQueue) Pop() any {
 	old := *q
 	n := len(old)
 	item := old[n-1]

@@ -2,11 +2,13 @@ package service
 
 import (
 	"context"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/exp"
+	"repro/internal/gen"
 )
 
 // benchGraphs returns the small end of the Grids experiment family — the
@@ -31,6 +33,85 @@ func benchGraphs(b *testing.B) []exp.NamedGraph {
 	}
 	b.Fatal("Grids dataset missing from the experiment corpus")
 	return nil
+}
+
+// BenchmarkSharedStreamFanout is the headline number of the shared
+// ranked-stream cache: N concurrent clients consuming the same ranked
+// prefix of one graph. With private enumerators (the pre-cache serving
+// model) the enumeration work — constrained Lawler–Murty branch solves —
+// is N× that of a single client; through the StreamStore the first cursor
+// to reach each rank solves it once and everyone else reads the buffer,
+// so total work approaches 1×. The solves/op metric reports the measured
+// work per iteration; compare shared vs private.
+func BenchmarkSharedStreamFanout(b *testing.B) {
+	const clients = 8
+	const ranks = 100
+	g := gen.Cycle(9) // Catalan(7) = 429 minimal triangulations, no atoms
+	solver, err := core.NewSolverContext(context.Background(), g, cost.FillIn{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := SolverKey{Fingerprint: g.Fingerprint(), Cost: "fill", Bound: -1}
+
+	// Consumers run on their own goroutines, so failures are reported with
+	// b.Error (goroutine-safe) rather than b.Fatal (test-goroutine only).
+	consume := func(b *testing.B, next func(i int) (*core.Result, bool)) {
+		for i := 0; i < ranks; i++ {
+			if _, ok := next(i); !ok {
+				b.Errorf("stream ended early at rank %d", i)
+				return
+			}
+		}
+	}
+
+	b.Run("shared", func(b *testing.B) {
+		before := solver.ReuseStats().ConstrainedSolves
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			store := NewStreamStore(0, 0) // fresh store: every iteration re-enumerates once
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					h := store.Acquire(key, solver)
+					defer h.Release()
+					consume(b, func(i int) (*core.Result, bool) {
+						r, ok, err := h.At(context.Background(), i)
+						if err != nil {
+							b.Error(err)
+							return nil, false
+						}
+						return r, ok
+					})
+				}()
+			}
+			wg.Wait()
+		}
+		b.StopTimer()
+		solves := solver.ReuseStats().ConstrainedSolves - before
+		b.ReportMetric(float64(solves)/float64(b.N), "solves/op")
+	})
+
+	b.Run("private", func(b *testing.B) {
+		before := solver.ReuseStats().ConstrainedSolves
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					e := solver.EnumerateContext(context.Background())
+					consume(b, func(int) (*core.Result, bool) { return e.Next() })
+				}()
+			}
+			wg.Wait()
+		}
+		b.StopTimer()
+		solves := solver.ReuseStats().ConstrainedSolves - before
+		b.ReportMetric(float64(solves)/float64(b.N), "solves/op")
+	})
 }
 
 // BenchmarkSolverPoolColdInit measures the miss path: full solver

@@ -4,20 +4,30 @@
 // — results stream by increasing cost, clients stop when the prefix is
 // good enough — maps directly onto paged and streamed HTTP responses.
 //
-// The subsystem has three layers:
+// The subsystem has four layers:
 //
 //   - SolverPool deduplicates and LRU-caches initialized core.Solvers,
 //     keyed by the canonical graph fingerprint plus the cost and width
 //     bound. Concurrent requests for the same key share one
 //     initialization; abandoned initializations are cancelled via
 //     context once their last waiter disconnects.
-//   - SessionManager holds live core.Enumerator streams behind opaque
-//     resume tokens so clients page through results across requests.
-//     Idle sessions are evicted by a janitor and their enumeration
-//     contexts cancelled, so abandoned sessions stop burning CPU.
-//   - Server wires both behind an http.Handler with bounded-concurrency
-//     admission and graceful shutdown. cmd/rankedtriangd is the daemon
-//     around it.
+//   - StreamStore materializes each solver's ranked enumeration exactly
+//     once per key: an append-only result buffer (core.SharedStream)
+//     shared by every consumer of that key, produced on demand with a
+//     per-rank singleflight — the first cursor to need rank i drives the
+//     enumerator, later cursors read the buffer. Buffers live under an
+//     LRU byte budget (Config.StreamBudgetBytes, -stream-budget); an
+//     evicted buffer rebuilds lazily and, because the enumeration order
+//     is deterministic, replays identical ranks.
+//   - SessionManager holds thin cursors (token + position) over the
+//     shared streams behind opaque resume tokens so clients page through
+//     results across requests. Idle sessions are evicted by a janitor;
+//     an abandoned stream burns no CPU by construction, since production
+//     only ever happens on behalf of a paging cursor.
+//   - Server wires everything behind an http.Handler with
+//     bounded-concurrency admission and graceful shutdown; the NDJSON
+//     streaming mode reads the same shared buffers as the paging
+//     sessions. cmd/rankedtriangd is the daemon around it.
 //
 // # HTTP API
 //
@@ -60,15 +70,18 @@
 // GET /v1/sessions/{token}/next?page_size=N — the next page for a live
 // session. Returns {"session","done","results"}; when done is true the
 // session is closed and the token becomes invalid (404 afterwards).
-// Adding &from=R recovers a page lost in flight: if R names the start
-// rank of the most recent page, that page is re-served verbatim; if R is
-// the current cursor, paging proceeds normally; anything else is a 409.
-// Only one page of history is kept, and the final (done) page is not
-// replayable — its session is already closed; re-enumerate instead (the
-// solver is cached, so this is cheap).
+// Adding &from=R recovers a page lost in flight: any rank the session
+// has already committed is re-served from the shared stream buffer
+// (page_size results starting at R, never advancing the cursor); R equal
+// to the cursor pages normally; R beyond the cursor is a 409. Replay
+// survives buffer eviction — the stream rebuilds deterministically — but
+// not session closure: the final (done) page closes the session, so
+// re-enumerate instead (the solver and usually the buffer are cached, so
+// this is cheap).
 //
-// GET /v1/sessions/{token} — session metadata (emitted count, queued
-// partitions, idle time). DELETE /v1/sessions/{token} — close early.
+// GET /v1/sessions/{token} — session metadata (emitted count, results
+// buffered ahead of the cursor, idle time). DELETE /v1/sessions/{token}
+// — close early.
 //
 // GET /v1/stats — cache hit rates, live/expired session counts, request
 // totals, and the incremental-solve counters aggregated over the cached
@@ -95,7 +108,19 @@
 // a time with the ranked streams merged, so initialization and delay
 // depend on the largest atom rather than the whole graph;
 // Config.NoDecompose (-no-decompose) forces the monolithic solver for
-// A/B debugging. GET /healthz — liveness.
+// A/B debugging.
+//
+// Stats also report the shared ranked-stream cache:
+//
+//	"streams": {"streams": 2, "cursors": 9, "buffered_results": 420,
+//	            "bytes": 501760, "budget_bytes": 67108864,
+//	            "hits": 11, "misses": 2, "evictions": 0, "rebuilds": 0}
+//
+// A stream hit means a new session or NDJSON stream rode an existing
+// materialized buffer instead of enumerating privately — N concurrent
+// clients on one graph cost one enumeration, not N (see
+// BenchmarkSharedStreamFanout and BENCH_stream.json). GET /healthz —
+// liveness.
 //
 // Errors are {"error": "…"} with a 4xx/5xx status: 400 for malformed
 // graphs or unknown costs, 404 for unknown sessions, 429 when the session

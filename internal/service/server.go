@@ -38,6 +38,12 @@ type Config struct {
 	// 5m). A stream holds an admission slot from start to finish, so an
 	// unbounded stream could park a slot forever.
 	StreamTimeout time.Duration
+	// StreamBudgetBytes caps the total estimated footprint of the
+	// materialized result buffers shared by sessions and NDJSON streams
+	// (default 64 MiB). Past the budget the least recently used buffers
+	// are dropped; a dropped buffer rebuilds lazily and replays the
+	// identical ranks if a live cursor still needs it.
+	StreamBudgetBytes int64
 	// FullResolve disables the incremental constraint-aware DP on every
 	// solver this server builds: each Lawler–Murty branch re-runs the
 	// whole block DP from scratch. This is a debugging/ablation knob —
@@ -84,6 +90,9 @@ func (c Config) withDefaults() Config {
 	if c.StreamTimeout <= 0 {
 		c.StreamTimeout = 5 * time.Minute
 	}
+	if c.StreamBudgetBytes <= 0 {
+		c.StreamBudgetBytes = defaultStreamBudget
+	}
 	return c
 }
 
@@ -98,6 +107,7 @@ const maxBodyBytes = 16 << 20
 type Server struct {
 	cfg      Config
 	pool     *SolverPool
+	streams  *StreamStore
 	sessions *SessionManager
 	sem      chan struct{}
 	mux      *http.ServeMux
@@ -108,10 +118,15 @@ type Server struct {
 // New returns a ready-to-serve Server.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	// Stream entries pin their solver via the rebuild factory, so the
+	// entry cap tracks the solver pool's: a stream whose solver left the
+	// pool does not linger much longer than the solver itself.
+	streams := NewStreamStore(cfg.StreamBudgetBytes, cfg.CacheSize)
 	s := &Server{
 		cfg:      cfg,
 		pool:     NewSolverPool(cfg.CacheSize),
-		sessions: NewSessionManager(cfg.MaxSessions, cfg.IdleTimeout),
+		streams:  streams,
+		sessions: NewSessionManager(cfg.MaxSessions, cfg.IdleTimeout, streams),
 		sem:      make(chan struct{}, cfg.MaxConcurrent),
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
@@ -140,6 +155,9 @@ func (s *Server) Close() {
 
 // Pool exposes the solver pool (stats, tests).
 func (s *Server) Pool() *SolverPool { return s.pool }
+
+// Streams exposes the shared ranked-stream cache (stats, tests).
+func (s *Server) Streams() *StreamStore { return s.streams }
 
 // Sessions exposes the session manager (stats, tests).
 func (s *Server) Sessions() *SessionManager { return s.sessions }
@@ -230,7 +248,7 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if req.Stream {
-		s.streamResults(w, r, g, solver, req.MaxResults)
+		s.streamResults(w, r, g, solver, key, req.MaxResults)
 		return
 	}
 
@@ -274,8 +292,11 @@ const streamWriteTimeout = 30 * time.Second
 // hits the per-line write deadline, and the stream's total lifetime is
 // capped by Config.StreamTimeout so a slow-but-steady reader cannot park
 // an admission slot forever. No session is created; the stream is the
-// whole lifecycle.
-func (s *Server) streamResults(w http.ResponseWriter, r *http.Request, g *graph.Graph, solver *core.Solver, max int) {
+// whole lifecycle. The results come from the same shared materialized
+// stream the paging sessions read: concurrent NDJSON streams and sessions
+// on one (graph, cost, bound) key split a single enumeration between
+// them instead of each running their own.
+func (s *Server) streamResults(w http.ResponseWriter, r *http.Request, g *graph.Graph, solver *core.Solver, key SolverKey, max int) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	rc := http.NewResponseController(w)
@@ -283,11 +304,12 @@ func (s *Server) streamResults(w http.ResponseWriter, r *http.Request, g *graph.
 	enc := json.NewEncoder(w)
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.StreamTimeout)
 	defer cancel()
-	e := solver.EnumerateContext(ctx)
+	h := s.streams.Acquire(key, solver)
+	defer h.Release()
 	count := 0
 	for max <= 0 || count < max {
-		res, ok := e.Next()
-		if !ok {
+		res, ok, err := h.At(ctx, count)
+		if err != nil || !ok {
 			break
 		}
 		rc.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
@@ -329,19 +351,41 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	release, err := s.admit(ctx)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, errors.New("cancelled while waiting for admission"))
+		return
+	}
+	defer release()
+
 	if q := r.URL.Query().Get("from"); q != "" {
 		from, err := strconv.Atoi(q)
 		if err != nil || from < 0 {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad from %q", q))
 			return
 		}
-		// Replay is the recovery path for a page lost in flight: it
-		// re-serves the buffered last page without touching the
-		// enumerator, so it needs no admission slot.
-		start, results, done, ok := sess.Replay(from)
+		// Replay is the recovery path for a page lost in flight: any rank
+		// the session already committed re-serves from the shared stream
+		// buffer. It runs under an admission slot because a buffer the
+		// byte budget evicted rebuilds (deterministically) on demand.
+		start, results, done, ok, rerr := sess.Replay(ctx, from, pageSize)
 		if !ok {
 			writeError(w, http.StatusConflict,
-				fmt.Errorf("rank %d is not replayable: only the last page's start or the current cursor is", from))
+				fmt.Errorf("rank %d is not replayable: it lies beyond the session's cursor", from))
+			return
+		}
+		if rerr != nil {
+			switch {
+			case errors.Is(rerr, ErrSessionNotFound):
+				writeError(w, http.StatusNotFound, ErrSessionNotFound)
+			case ctx.Err() != nil || errors.Is(rerr, context.Canceled) || errors.Is(rerr, context.DeadlineExceeded):
+				writeError(w, http.StatusServiceUnavailable, errors.New("request cancelled"))
+			default:
+				// Anything else is a broken invariant (a committed rank that
+				// failed to rematerialize) — report it as the server bug it
+				// is, not as client cancellation.
+				writeError(w, http.StatusInternalServerError, rerr)
+			}
 			return
 		}
 		if len(results) > 0 {
@@ -354,13 +398,6 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 		}
 		// from equals the live cursor; fall through to normal paging.
 	}
-
-	release, err := s.admit(ctx)
-	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, errors.New("cancelled while waiting for admission"))
-		return
-	}
-	defer release()
 
 	start, results, done, pageErr := sess.NextPage(ctx, pageSize)
 	if pageErr != nil {
@@ -409,6 +446,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Sessions:      s.sessions.Stats(),
 		Solver:        s.pool.ReuseStats(),
 		Atoms:         s.pool.AtomStats(),
+		Streams:       s.streams.Stats(),
 	})
 }
 

@@ -494,7 +494,7 @@ func TestStreamTruncation(t *testing.T) {
 // TestNextPageRedelivery cancels a paging request mid-page and checks the
 // pulled results are redelivered (not lost) on the retry.
 func TestNextPageRedelivery(t *testing.T) {
-	m := NewSessionManager(4, time.Minute)
+	m := NewSessionManager(4, time.Minute, nil)
 	defer m.Close()
 	solver := core.NewSolver(gen.Cycle(5), cost.Width{})
 	sess, err := m.Create(solver, SolverKey{})
@@ -517,7 +517,7 @@ func TestNextPageRedelivery(t *testing.T) {
 
 // TestNextPageAfterEviction distinguishes eviction from exhaustion.
 func TestNextPageAfterEviction(t *testing.T) {
-	m := NewSessionManager(4, time.Minute)
+	m := NewSessionManager(4, time.Minute, nil)
 	defer m.Close()
 	solver := core.NewSolver(gen.Cycle(5), cost.Width{})
 	sess, err := m.Create(solver, SolverKey{})
@@ -532,7 +532,7 @@ func TestNextPageAfterEviction(t *testing.T) {
 
 // TestCreateAfterClose reports shutdown, not a bogus missing session.
 func TestCreateAfterClose(t *testing.T) {
-	m := NewSessionManager(4, time.Minute)
+	m := NewSessionManager(4, time.Minute, nil)
 	m.Close()
 	solver := core.NewSolver(gen.Cycle(4), cost.Width{})
 	if _, err := m.Create(solver, SolverKey{}); !errors.Is(err, ErrShuttingDown) {
@@ -567,14 +567,28 @@ func TestPageReplay(t *testing.T) {
 	if status != http.StatusOK || cont.Results[0].Index != 4 {
 		t.Fatalf("paging after replay should resume at rank 4, got %d %+v", status, cont.Results)
 	}
-	// A rank that is neither the last page nor the cursor is a conflict.
-	resp, err = http.Get(fmt.Sprintf("%s/v1/sessions/%s/next?from=0", ts.URL, first.Session))
+	// Any committed rank is replayable, not just the last page: the shared
+	// stream buffer retains the whole prefix.
+	resp, err = http.Get(fmt.Sprintf("%s/v1/sessions/%s/next?from=0&page_size=3", ts.URL, first.Session))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var old EnumerateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&old); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(old.Results) != 3 || old.Results[0].Index != 0 || old.Results[2].Index != 2 {
+		t.Fatalf("replay from 0 should re-serve ranks 0..2, got %+v", old.Results)
+	}
+	// A rank beyond the cursor is a conflict.
+	resp, err = http.Get(fmt.Sprintf("%s/v1/sessions/%s/next?from=100", ts.URL, first.Session))
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusConflict {
-		t.Fatalf("stale from should 409, got %d", resp.StatusCode)
+		t.Fatalf("from beyond the cursor should 409, got %d", resp.StatusCode)
 	}
 	// from equal to the current cursor pages normally.
 	resp, err = http.Get(fmt.Sprintf("%s/v1/sessions/%s/next?from=6&page_size=2", ts.URL, first.Session))

@@ -24,28 +24,40 @@ var ErrTooManySessions = errors.New("service: session limit reached")
 // new sessions (HTTP 503).
 var ErrShuttingDown = errors.New("service: shutting down")
 
-// Session is one live enumeration stream parked between requests. All
-// paging goes through NextPage, which serializes concurrent requests for
-// the same token.
+// Session is one client's cursor over a shared materialized stream: a
+// token, a position, and nothing else that costs memory — the results
+// themselves live in the StreamStore buffer, shared with every other
+// cursor on the same (graph, cost, bound) key. Paging reads the buffer
+// and drives production only past its end (singleflighted per rank across
+// all cursors); a page interrupted mid-flight simply does not advance the
+// position, so the retry re-reads the same ranks from the buffer — no
+// private redelivery state is needed. All paging goes through NextPage,
+// which serializes concurrent requests for the same token.
 type Session struct {
 	Token string
 	Key   SolverKey
 
-	g         *graph.Graph
-	mu        sync.Mutex
-	enum      *core.Enumerator
-	ctx       context.Context // the enumeration's context; done = evicted/shutdown
-	cancel    context.CancelFunc
-	last      time.Time
-	emitted   int
-	pending   []*core.Result // pulled but never delivered (cancelled paging request)
-	lastStart int            // global rank of the most recent page's first result
-	lastPage  []*core.Result // the most recent page, kept for ?from= replay
-	done      bool
+	g      *graph.Graph
+	mu     sync.Mutex
+	stream *StreamHandle
+	ctx    context.Context // the session's context; done = evicted/shutdown
+	cancel context.CancelFunc
+	closer sync.Once
+	last   time.Time
+	pos    int // ranks [0, pos) have been committed to the client
+	done   bool
 }
 
 // graphOf returns the graph the session enumerates (for wire conversion).
 func (s *Session) graphOf() *graph.Graph { return s.g }
+
+// close cancels the session's context and releases its stream reference.
+func (s *Session) close() {
+	s.closer.Do(func() {
+		s.cancel()
+		s.stream.Release()
+	})
+}
 
 // SessionStats is a snapshot of SessionManager counters.
 type SessionStats struct {
@@ -56,10 +68,14 @@ type SessionStats struct {
 
 // SessionManager owns the token → Session table: creation under a
 // capacity limit, lookup, deletion, idle eviction by a janitor goroutine,
-// and cancellation of every live enumeration on shutdown.
+// and release of every cursor on shutdown. The enumeration state itself
+// lives in the StreamStore; evicting a session releases one reference on
+// its stream and nothing more — other cursors and the buffered prefix are
+// untouched.
 type SessionManager struct {
 	mu       sync.Mutex
 	sessions map[string]*Session
+	store    *StreamStore
 	max      int
 	idle     time.Duration
 	created  uint64
@@ -71,18 +87,22 @@ type SessionManager struct {
 	janitor    chan struct{}
 }
 
-// NewSessionManager returns a manager holding at most max sessions and
-// evicting sessions idle longer than idle.
-func NewSessionManager(max int, idle time.Duration) *SessionManager {
+// NewSessionManager returns a manager holding at most max sessions over
+// store's materialized streams, evicting sessions idle longer than idle.
+func NewSessionManager(max int, idle time.Duration, store *StreamStore) *SessionManager {
 	if max < 1 {
 		max = 1
 	}
 	if idle <= 0 {
 		idle = 5 * time.Minute
 	}
+	if store == nil {
+		store = NewStreamStore(0, 0)
+	}
 	base, cancel := context.WithCancel(context.Background())
 	m := &SessionManager{
 		sessions:   make(map[string]*Session),
+		store:      store,
 		max:        max,
 		idle:       idle,
 		base:       base,
@@ -93,22 +113,15 @@ func NewSessionManager(max int, idle time.Duration) *SessionManager {
 	return m
 }
 
-// Create registers a new session streaming from solver. The enumeration
-// context descends from the manager, so Close and idle eviction cancel it.
+// Create registers a new cursor over the shared stream for key, served by
+// solver on a stream-cache miss. No enumeration work happens here — the
+// first NextPage drives (or merely reads) the shared buffer.
 func (m *SessionManager) Create(solver *core.Solver, key SolverKey) (*Session, error) {
-	// Cheap admission check first: a full table must reject before the
-	// enumerator's first MinTriang — the most expensive single solve —
-	// burns CPU on work that can never be admitted.
-	if err := m.admittable(); err != nil {
-		return nil, err
-	}
-	// The solve itself runs outside the table lock, so a slow first
-	// MinTriang never stalls unrelated sessions.
 	ctx, cancel := context.WithCancel(m.base)
 	s := &Session{
 		Key:    key,
 		g:      solver.Graph(),
-		enum:   solver.EnumerateContext(ctx),
+		stream: m.store.Acquire(key, solver),
 		ctx:    ctx,
 		cancel: cancel,
 		last:   time.Now(),
@@ -117,7 +130,7 @@ func (m *SessionManager) Create(solver *core.Solver, key SolverKey) (*Session, e
 	if m.closed || len(m.sessions) >= m.max {
 		closed := m.closed
 		m.mu.Unlock()
-		cancel()
+		s.close()
 		if closed {
 			return nil, ErrShuttingDown
 		}
@@ -128,19 +141,6 @@ func (m *SessionManager) Create(solver *core.Solver, key SolverKey) (*Session, e
 	m.created++
 	m.mu.Unlock()
 	return s, nil
-}
-
-// admittable reports whether a new session would currently be accepted.
-func (m *SessionManager) admittable() error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
-		return ErrShuttingDown
-	}
-	if len(m.sessions) >= m.max {
-		return ErrTooManySessions
-	}
-	return nil
 }
 
 // Get returns the live session for token.
@@ -154,19 +154,19 @@ func (m *SessionManager) Get(token string) (*Session, error) {
 	return s, nil
 }
 
-// Remove closes the session for token, cancelling its enumeration.
+// Remove closes the session for token, releasing its stream reference.
 func (m *SessionManager) Remove(token string) bool {
 	m.mu.Lock()
 	s, ok := m.sessions[token]
 	delete(m.sessions, token)
 	m.mu.Unlock()
 	if ok {
-		s.cancel()
+		s.close()
 	}
 	return ok
 }
 
-// Close cancels every live enumeration and stops the janitor. The manager
+// Close releases every live session and stops the janitor. The manager
 // rejects new sessions afterwards.
 func (m *SessionManager) Close() {
 	m.mu.Lock()
@@ -175,8 +175,12 @@ func (m *SessionManager) Close() {
 		return
 	}
 	m.closed = true
+	snapshot := m.sessions
 	m.sessions = make(map[string]*Session)
 	m.mu.Unlock()
+	for _, s := range snapshot {
+		s.close()
+	}
 	m.baseCancel()
 	close(m.janitor)
 }
@@ -237,87 +241,98 @@ func (m *SessionManager) runJanitor() {
 			}
 			s.mu.Unlock()
 			if stale {
-				s.cancel()
+				s.close()
 			}
 		}
 	}
 }
 
-// NextPage advances the session by up to n results, returning the global
+// NextPage advances the cursor by up to n results, returning the global
 // rank of the page's first result (so concurrent pagers on one token get
 // disjoint, correctly numbered pages). The done flag reports exhaustion,
 // after which the caller should Remove the session.
 //
 // Two cancellation sources are kept distinct. When the paging request's
-// ctx dies mid-page, the response cannot be delivered, so the pulled
-// results are parked in a redelivery buffer — the enumerator's cursor is
-// destructive, and dropping them would silently lose ranks — and
-// ctx.Err() is returned; a retry redelivers them. When the session's own
-// context is cancelled (idle eviction, shutdown), ErrSessionNotFound is
-// returned rather than mislabelling the truncated stream as exhausted.
+// ctx dies mid-page, the cursor simply does not advance — the results
+// already materialized stay in the shared buffer, so a retry re-reads
+// them — and ctx's error is returned. When the session's own context is
+// cancelled (idle eviction, shutdown), ErrSessionNotFound is returned
+// rather than mislabelling the truncated stream as exhausted.
 func (s *Session) NextPage(ctx context.Context, n int) (start int, results []*core.Result, done bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	start = s.emitted
-	for len(s.pending) > 0 && len(results) < n {
-		results = append(results, s.pending[0])
-		s.pending = s.pending[1:]
-	}
-	for len(results) < n && !s.done {
+	s.last = time.Now()
+	start = s.pos
+	for len(results) < n {
 		if s.ctx.Err() != nil {
-			s.pending = append(results, s.pending...)
 			return start, nil, false, ErrSessionNotFound
 		}
 		if ctx.Err() != nil {
-			break
+			return start, nil, false, ctx.Err()
 		}
-		r, ok := s.enum.Next()
-		if !ok {
+		r, ok, aerr := s.stream.At(ctx, s.pos+len(results))
+		if aerr != nil {
 			if s.ctx.Err() != nil {
-				s.pending = append(results, s.pending...)
 				return start, nil, false, ErrSessionNotFound
 			}
+			return start, nil, false, aerr
+		}
+		if !ok {
 			s.done = true
 			break
 		}
 		results = append(results, r)
 	}
+	s.pos += len(results)
 	s.last = time.Now()
-	if ctx.Err() != nil {
-		s.pending = append(results, s.pending...)
-		return start, nil, false, ctx.Err()
-	}
-	s.emitted += len(results)
-	if len(results) > 0 {
-		s.lastStart, s.lastPage = start, results
-	}
 	return start, results, s.done, nil
 }
 
-// Replay returns the most recent page again when from names its first
-// rank — the recovery path for a response lost after NextPage committed
-// it (connection dropped mid-write). Only one page of history is kept;
-// ok=false means from is neither the last page's start nor the current
-// cursor. A from equal to the current cursor returns an empty replay and
-// the caller should page normally.
-func (s *Session) Replay(from int) (start int, results []*core.Result, done, ok bool) {
+// Replay re-serves up to n already-committed results starting at rank
+// from — the recovery path for a response lost after NextPage committed
+// it (connection dropped mid-write). Any from in [0, cursor] is
+// replayable: the shared buffer retains the whole prefix, and even if the
+// byte budget evicted it, the stream rebuilds and replays the identical
+// ranks (hence the ctx). Replay never advances the cursor; ok=false means
+// from lies beyond it. A from equal to the current cursor returns an
+// empty replay and the caller should page normally.
+func (s *Session) Replay(ctx context.Context, from, n int) (start int, results []*core.Result, done, ok bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.last = time.Now()
-	if s.lastPage != nil && from == s.lastStart {
-		return s.lastStart, s.lastPage, s.done && len(s.pending) == 0, true
+	if from < 0 || from > s.pos {
+		return 0, nil, false, false, nil
 	}
-	if from == s.emitted {
-		return from, nil, false, true
+	if from == s.pos {
+		return from, nil, false, true, nil
 	}
-	return 0, nil, false, false
+	end := from + n
+	if end > s.pos {
+		end = s.pos
+	}
+	for i := from; i < end; i++ {
+		if s.ctx.Err() != nil {
+			return start, nil, false, true, ErrSessionNotFound
+		}
+		r, rok, aerr := s.stream.At(ctx, i)
+		if aerr != nil {
+			return start, nil, false, true, aerr
+		}
+		if !rok {
+			// Impossible for ranks below the cursor: the stream replays
+			// deterministically, so a committed rank always rematerializes.
+			return start, nil, false, true, errors.New("service: committed rank vanished from the stream")
+		}
+		results = append(results, r)
+	}
+	return from, results, s.done && end == s.pos, true, nil
 }
 
-// Emitted returns how many results the session has produced so far.
+// Emitted returns how many results the session has committed so far.
 func (s *Session) Emitted() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.emitted
+	return s.pos
 }
 
 // Info returns the session's wire metadata.
@@ -325,10 +340,10 @@ func (s *Session) Info() SessionInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return SessionInfo{
-		Session:     s.Token,
-		Emitted:     s.emitted,
-		Queued:      s.enum.Remaining(),
-		IdleSeconds: time.Since(s.last).Seconds(),
+		Session:       s.Token,
+		Emitted:       s.pos,
+		BufferedAhead: s.stream.BufferedAhead(s.pos),
+		IdleSeconds:   time.Since(s.last).Seconds(),
 	}
 }
 

@@ -74,11 +74,20 @@ type EnumerateResponse struct {
 }
 
 // SessionInfo is the body of GET /v1/sessions/{token}.
+//
+// BufferedAhead is how many results past this session's cursor are
+// already materialized in the shared stream buffer — the ranks the next
+// pages can serve without any solving work (other cursors on the same
+// graph, or this session's own interrupted pages, may have produced
+// them). It replaces the old queued_partitions field, which reported the
+// enumerator's internal Lawler–Murty queue depth: an implementation
+// detail that was neither a bound on remaining results nor a measure of
+// buffered work, i.e. misleading wire metadata.
 type SessionInfo struct {
-	Session     string  `json:"session"`
-	Emitted     int     `json:"emitted"`
-	Queued      int     `json:"queued_partitions"`
-	IdleSeconds float64 `json:"idle_seconds"`
+	Session       string  `json:"session"`
+	Emitted       int     `json:"emitted"`
+	BufferedAhead int     `json:"buffered_ahead"`
+	IdleSeconds   float64 `json:"idle_seconds"`
 }
 
 // AtomStats aggregates the clique-separator decompositions of the cached
@@ -98,6 +107,9 @@ type AtomStats struct {
 // solvers: dirty_blocks were re-solved under Lawler–Murty constraints,
 // reused_blocks came straight from each solver's unconstrained baseline.
 // Atoms aggregates the clique-separator decompositions of those solvers.
+// Streams reports the shared ranked-stream cache (see StreamStats): a
+// stream hit means a new session or NDJSON stream rode an existing
+// materialized buffer instead of enumerating privately.
 type StatsResponse struct {
 	UptimeSeconds float64         `json:"uptime_seconds"`
 	Requests      uint64          `json:"requests"`
@@ -105,6 +117,7 @@ type StatsResponse struct {
 	Sessions      SessionStats    `json:"sessions"`
 	Solver        core.ReuseStats `json:"solver"`
 	Atoms         AtomStats       `json:"atoms"`
+	Streams       StreamStats     `json:"streams"`
 }
 
 // ErrorResponse is the body of every non-2xx response.
