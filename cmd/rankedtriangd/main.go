@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/service"
 )
 
@@ -43,22 +44,30 @@ func main() {
 		streamBudget  = flag.Int64("stream-budget", 64<<20, "byte budget for shared materialized result buffers (LRU-evicted past it)")
 		fullResolve   = flag.Bool("full-resolve", false, "disable the incremental DP: every branch re-solves from scratch (A/B debugging; identical output)")
 		noDecompose   = flag.Bool("no-decompose", false, "disable the clique-separator atom decomposition: always solve the whole graph monolithically (A/B debugging)")
+		backend       = flag.String("backend", "dp", "default enumeration backend: dp (ranked-exact), mis (unordered, no init cost), mis-scored (heuristic best-first) or auto (separator probe); overridable per request via ?backend=")
+		probeBudget   = flag.Int("backend-probe-budget", core.DefaultProbeBudget, "separator budget the auto backend policy probes under before falling back to mis")
 		drain         = flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
 	)
 	flag.Parse()
 
+	if _, ok := core.ParseBackendKind(*backend); !ok {
+		log.Fatalf("rankedtriangd: unknown -backend %q (want auto, dp, mis or mis-scored)", *backend)
+	}
+
 	svc := service.New(service.Config{
-		CacheSize:         *cacheSize,
-		MaxSessions:       *maxSessions,
-		IdleTimeout:       *idleTimeout,
-		PageSize:          *pageSize,
-		MaxConcurrent:     *concurrency,
-		MaxVertices:       *maxVertices,
-		InitTimeout:       *initTimeout,
-		StreamTimeout:     *streamTimeout,
-		StreamBudgetBytes: *streamBudget,
-		FullResolve:       *fullResolve,
-		NoDecompose:       *noDecompose,
+		CacheSize:          *cacheSize,
+		MaxSessions:        *maxSessions,
+		IdleTimeout:        *idleTimeout,
+		PageSize:           *pageSize,
+		MaxConcurrent:      *concurrency,
+		MaxVertices:        *maxVertices,
+		InitTimeout:        *initTimeout,
+		StreamTimeout:      *streamTimeout,
+		StreamBudgetBytes:  *streamBudget,
+		FullResolve:        *fullResolve,
+		NoDecompose:        *noDecompose,
+		DefaultBackend:     *backend,
+		BackendProbeBudget: *probeBudget,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

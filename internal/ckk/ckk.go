@@ -11,12 +11,26 @@
 // streaming Berry–Bordat–Cogis generator interleaved with the
 // independent-set moves, so there is no expensive upfront initialization —
 // the practical difference from RankedTriang that the paper's Table 2
-// measures.
+// measures, and the reason the service's MIS backend can answer on graphs
+// whose |MinSep|-exponential PMC-table init blows the ranked DP's budget.
+//
+// Separators are interned into dense integer IDs (internal/intern) as they
+// are discovered: result deduplication keys on the sorted ID set of the
+// triangulation's minimal separators (Parra–Scheffler — the family
+// determines H), and repeated move families are skipped before the
+// triangulator ever runs, so the per-move cost carries no O(n²) edge-set
+// key hashing.
 package ckk
 
 import (
+	"container/heap"
+	"context"
+	"encoding/binary"
+	"sort"
+
 	"repro/internal/chordal"
 	"repro/internal/graph"
+	"repro/internal/intern"
 	"repro/internal/minsep"
 	"repro/internal/triang"
 	"repro/internal/vset"
@@ -26,124 +40,296 @@ import (
 // enumeration relies on.
 type Triangulator func(*graph.Graph) *graph.Graph
 
+// Score ranks a pending result for the best-first (scored) enumeration:
+// lower scores are emitted and expanded earlier. A Score is a cheap
+// heuristic — it orders the maximal-independent-set move frontier without
+// any exactness claim on the global output order. It is called exactly
+// once per produced result.
+type Score func(*Result) float64
+
 // Result is one enumerated minimal triangulation.
 type Result struct {
 	H    *graph.Graph
 	Seps []vset.Set
+
+	ids   []int   // enumerator-interned IDs aligned with Seps
+	score float64 // Score value (scored enumerations only)
+	seq   int     // production order; the deterministic tie-break
 }
 
-// Enumerator streams all minimal triangulations of a graph, unordered.
-// Create one with New, then call Next until exhaustion.
+// scoredQueue is a min-heap on (score, seq) for best-first emission.
+type scoredQueue []*Result
+
+func (q scoredQueue) Len() int { return len(q) }
+func (q scoredQueue) Less(i, j int) bool {
+	if q[i].score != q[j].score {
+		return q[i].score < q[j].score
+	}
+	return q[i].seq < q[j].seq
+}
+func (q scoredQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *scoredQueue) Push(x any)   { *q = append(*q, x.(*Result)) }
+func (q *scoredQueue) Pop() any {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return item
+}
+
+// Enumerator streams all minimal triangulations of a graph, unordered (or
+// heuristically best-first when constructed with NewScored). Create one
+// with New or NewScored, then call Next/NextContext until exhaustion.
 type Enumerator struct {
-	g    *graph.Graph
-	tri  Triangulator
-	out  []*Result
-	seen map[string]bool
+	g     *graph.Graph
+	tri   Triangulator
+	score Score
+
+	// tab interns every separator the enumeration touches — stream draws
+	// and the minimal separators of produced triangulations — so moves and
+	// dedup work on dense IDs instead of hashed set keys.
+	tab    *intern.Table
+	seen   map[string]bool // produced triangulations, keyed by sorted sep-ID set
+	tried  map[string]bool // attempted move families, keyed the same way
+	keyBuf []byte          // scratch for ID-key construction
+
+	out []*Result   // pending results, FIFO (unscored mode)
+	pq  scoredQueue // pending results, best-first (scored mode)
 
 	stream *sepStream
 	seps   []vset.Set // separators drawn from the stream so far
+	sepIDs []int      // tab IDs aligned with seps
 
 	results []*Result
 	cursor  []int // per result: moves with seps[0:cursor] are done
-	next    int   // round-robin pointer
+	next    int   // round-robin pointer (unscored mode)
+	seq     int
 }
 
 // New starts the CKK enumeration of the minimal triangulations of g,
 // using tri as the black box (nil selects LB-Triang).
 func New(g *graph.Graph, tri Triangulator) *Enumerator {
+	return newEnumerator(g, tri, nil)
+}
+
+// NewScored is New with a best-first twist: pending results are emitted in
+// increasing score order, and the move frontier always expands the
+// best-scored known result next. The enumeration still produces exactly
+// the set of all minimal triangulations (the score only permutes the
+// order), still in incremental polynomial time per result.
+func NewScored(g *graph.Graph, tri Triangulator, score Score) *Enumerator {
+	if score == nil {
+		panic("ckk: NewScored requires a score function")
+	}
+	return newEnumerator(g, tri, score)
+}
+
+func newEnumerator(g *graph.Graph, tri Triangulator, score Score) *Enumerator {
 	if tri == nil {
 		tri = triang.Minimal
 	}
 	e := &Enumerator{
 		g:      g,
 		tri:    tri,
+		score:  score,
+		tab:    intern.New(16),
 		seen:   map[string]bool{},
+		tried:  map[string]bool{},
 		stream: newSepStream(g),
 	}
 	e.produce(nil)
 	return e
 }
 
+// idKey appends the canonical byte encoding of a sorted ID slice to buf
+// and returns the extended buffer. Dense IDs are tiny, so the key is a few
+// varint bytes per member — far smaller than hashing the sets themselves.
+func idKey(buf []byte, sorted []int) []byte {
+	for _, id := range sorted {
+		buf = binary.AppendUvarint(buf, uint64(id))
+	}
+	return buf
+}
+
 // produce extends the pairwise-parallel family p to a minimal
-// triangulation and registers it if new.
+// triangulation and registers it if new. By Parra–Scheffler the minimal
+// separators of the result form a maximal pairwise-parallel family of
+// MinSep(G) that determines the triangulation uniquely, so the sorted set
+// of their interned IDs is the dedup key.
 func (e *Enumerator) produce(p []vset.Set) {
 	h := e.tri(minsep.Saturate(e.g, p))
-	key := h.EdgeSetKey()
-	if e.seen[key] {
-		return
-	}
-	e.seen[key] = true
 	seps, err := chordal.MinimalSeparators(h)
 	if err != nil {
 		panic("ckk: black-box triangulator returned a non-chordal graph: " + err.Error())
 	}
-	r := &Result{H: h, Seps: seps}
-	e.out = append(e.out, r)
+	ids := make([]int, len(seps))
+	for i, s := range seps {
+		ids[i], _ = e.tab.Intern(s)
+	}
+	sorted := append([]int(nil), ids...)
+	sort.Ints(sorted)
+	e.keyBuf = idKey(e.keyBuf[:0], sorted)
+	key := string(e.keyBuf)
+	if e.seen[key] {
+		return
+	}
+	e.seen[key] = true
+	r := &Result{H: h, Seps: seps, ids: ids, seq: e.seq}
+	e.seq++
+	if e.score != nil {
+		r.score = e.score(r)
+		heap.Push(&e.pq, r)
+	} else {
+		e.out = append(e.out, r)
+	}
 	e.results = append(e.results, r)
 	e.cursor = append(e.cursor, 0)
+}
+
+// pending reports how many produced results await emission.
+func (e *Enumerator) pending() int {
+	if e.score != nil {
+		return len(e.pq)
+	}
+	return len(e.out)
+}
+
+// pop removes and returns the next result to emit.
+func (e *Enumerator) pop() *Result {
+	if e.score != nil {
+		return heap.Pop(&e.pq).(*Result)
+	}
+	r := e.out[0]
+	e.out = e.out[1:]
+	return r
 }
 
 // step performs one unit of pending work: either a (result, separator)
 // move, or pulling one more separator from the lazy generator. It reports
 // whether anything remained to do.
-func (e *Enumerator) step() bool {
-	// Apply a pending move if any result has one.
-	for scanned := 0; scanned < len(e.results); scanned++ {
-		i := (e.next + scanned) % len(e.results)
-		if e.cursor[i] >= len(e.seps) {
-			continue
+func (e *Enumerator) step(ctx context.Context) bool {
+	if e.score == nil {
+		// Round-robin over the results with pending moves.
+		for scanned := 0; scanned < len(e.results); scanned++ {
+			i := (e.next + scanned) % len(e.results)
+			if e.cursor[i] >= len(e.seps) {
+				continue
+			}
+			e.next = i
+			e.applyMove(i)
+			return true
 		}
-		r := e.results[i]
-		s := e.seps[e.cursor[i]]
-		e.cursor[i]++
-		e.next = i
-		e.move(r, s)
-		return true
+	} else {
+		// Best-first: the cheapest-scored result with pending moves
+		// expands next (ties broken by production order, so the walk is
+		// deterministic).
+		best := -1
+		for i := range e.results {
+			if e.cursor[i] >= len(e.seps) {
+				continue
+			}
+			if best == -1 || scoredBefore(e.results[i], e.results[best]) {
+				best = i
+			}
+		}
+		if best >= 0 {
+			e.applyMove(best)
+			return true
+		}
 	}
 	// All moves done; grow the separator universe.
-	if s, ok := e.stream.next(); ok {
+	if s, ok := e.stream.next(ctx); ok {
+		id, _ := e.tab.Intern(s)
 		e.seps = append(e.seps, s)
+		e.sepIDs = append(e.sepIDs, id)
 		return true
 	}
 	return false
 }
 
+func scoredBefore(a, b *Result) bool {
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	return a.seq < b.seq
+}
+
+// applyMove consumes result i's next pending separator move.
+func (e *Enumerator) applyMove(i int) {
+	s := e.seps[e.cursor[i]]
+	sid := e.sepIDs[e.cursor[i]]
+	e.cursor[i]++
+	e.move(e.results[i], s, sid)
+}
+
 // move generates the child of r with respect to separator s: keep the
 // members of r parallel to s, force s in, and re-extend (the standard
-// maximal-independent-set exchange step).
-func (e *Enumerator) move(r *Result, s vset.Set) {
-	for _, t := range r.Seps {
-		if t.Equal(s) {
+// maximal-independent-set exchange step). Membership is decided on
+// interned IDs, and a family already attempted by an earlier move is
+// skipped before the black-box triangulator runs.
+func (e *Enumerator) move(r *Result, s vset.Set, sid int) {
+	for _, id := range r.ids {
+		if id == sid {
 			return
 		}
 	}
 	p := []vset.Set{s}
-	for _, t := range r.Seps {
+	pids := []int{sid}
+	for i, t := range r.Seps {
 		if minsep.Parallel(e.g, t, s) {
 			p = append(p, t)
+			pids = append(pids, r.ids[i])
 		}
 	}
+	sort.Ints(pids)
+	e.keyBuf = idKey(e.keyBuf[:0], pids)
+	key := string(e.keyBuf)
+	if e.tried[key] {
+		return
+	}
+	e.tried[key] = true
 	e.produce(p)
 }
 
 // Next returns the next minimal triangulation, or ok=false when the
-// enumeration is complete. Results appear in no particular order.
+// enumeration is complete. Results appear in no particular order (in
+// heuristic best-first order for a NewScored enumerator).
 func (e *Enumerator) Next() (*Result, bool) {
-	for len(e.out) == 0 {
-		if !e.step() {
+	return e.NextContext(context.Background())
+}
+
+// NextContext is Next bound to a context: once ctx is cancelled the MIS
+// move loop and the separator stream stop, and the call reports
+// exhaustion — an abandoned enumeration (e.g. a disconnected service
+// client) stops burning CPU. Cancellation truncates the enumeration;
+// results already produced but not yet emitted are discarded.
+func (e *Enumerator) NextContext(ctx context.Context) (*Result, bool) {
+	for e.pending() == 0 {
+		if ctx.Err() != nil {
+			return nil, false
+		}
+		if !e.step(ctx) {
 			return nil, false
 		}
 	}
-	r := e.out[0]
-	e.out = e.out[1:]
-	return r, true
+	if ctx.Err() != nil {
+		return nil, false
+	}
+	return e.pop(), true
 }
 
 // All drains the enumeration (testing convenience; real clients stream).
 func (e *Enumerator) All() []*Result {
+	return e.AllContext(context.Background())
+}
+
+// AllContext drains the enumeration until exhaustion or ctx cancellation,
+// returning the (possibly truncated) prefix collected so far.
+func (e *Enumerator) AllContext(ctx context.Context) []*Result {
 	var out []*Result
 	for {
-		r, ok := e.Next()
+		r, ok := e.NextContext(ctx)
 		if !ok {
 			return out
 		}
@@ -151,19 +337,40 @@ func (e *Enumerator) All() []*Result {
 	}
 }
 
+// SepStream streams the minimal separators of a graph lazily, in
+// Berry–Bordat–Cogis order, without the MIS machinery on top. It is the
+// probe the backend auto-selection policy uses: drawing separators until a
+// budget overflows bounds the cost of deciding "too separator-rich to
+// rank" without ever materializing MinSep(G).
+type SepStream struct {
+	inner *sepStream
+}
+
+// NewSepStream starts the lazy separator generator for g.
+func NewSepStream(g *graph.Graph) *SepStream {
+	return &SepStream{inner: newSepStream(g)}
+}
+
+// Next returns one more minimal separator, or ok=false when the closure is
+// exhausted or ctx is cancelled (distinguish via ctx.Err()).
+func (ss *SepStream) Next(ctx context.Context) (vset.Set, bool) {
+	return ss.inner.next(ctx)
+}
+
 // sepStream produces the minimal separators of a graph lazily, in
 // Berry–Bordat–Cogis order: the neighborhood-seeded separators first, then
 // the closure under the S ↦ N(component of G \ (S ∪ N(x))) expansion.
+// The intern table doubles as the dedup set and the ordered universe:
+// produced/expanded are prefix counters over its ID space.
 type sepStream struct {
 	g        *graph.Graph
-	all      []vset.Set
-	seen     map[string]bool
-	produced int // prefix of all already handed out
-	expanded int // prefix of all already expanded
+	tab      *intern.Table
+	produced int // prefix of tab already handed out
+	expanded int // prefix of tab already expanded
 }
 
 func newSepStream(g *graph.Graph) *sepStream {
-	ss := &sepStream{g: g, seen: map[string]bool{}}
+	ss := &sepStream{g: g, tab: intern.New(16)}
 	g.Vertices().ForEach(func(v int) bool {
 		for _, c := range g.ComponentsAvoiding(g.ClosedNeighborhood(v)) {
 			ss.add(g.NeighborsOfSet(c))
@@ -177,18 +384,17 @@ func (ss *sepStream) add(s vset.Set) {
 	if s.IsEmpty() {
 		return
 	}
-	k := s.Key()
-	if !ss.seen[k] {
-		ss.seen[k] = true
-		ss.all = append(ss.all, s)
-	}
+	ss.tab.Intern(s)
 }
 
 // next returns one more minimal separator, expanding known separators on
-// demand, or ok=false when the closure is exhausted.
-func (ss *sepStream) next() (vset.Set, bool) {
-	for ss.produced >= len(ss.all) && ss.expanded < len(ss.all) {
-		s := ss.all[ss.expanded]
+// demand, or ok=false when the closure is exhausted or ctx is cancelled.
+func (ss *sepStream) next(ctx context.Context) (vset.Set, bool) {
+	for ss.produced >= ss.tab.Len() && ss.expanded < ss.tab.Len() {
+		if ctx.Err() != nil {
+			return vset.Set{}, false
+		}
+		s := ss.tab.Set(ss.expanded)
 		ss.expanded++
 		s.ForEach(func(x int) bool {
 			avoid := s.Union(ss.g.Neighbors(x))
@@ -199,8 +405,8 @@ func (ss *sepStream) next() (vset.Set, bool) {
 			return true
 		})
 	}
-	if ss.produced < len(ss.all) {
-		s := ss.all[ss.produced]
+	if ss.produced < ss.tab.Len() {
+		s := ss.tab.Set(ss.produced)
 		ss.produced++
 		return s, true
 	}

@@ -7,22 +7,37 @@ import (
 	"sync"
 )
 
-// Enumerator streams the minimal triangulations of a graph by increasing
-// cost. Obtain one from Solver.Enumerate and call Next until it reports
-// exhaustion. It fronts one of two machines: the Lawler–Murty RankedTriang
-// of Figure 4 on a monolithic solver, or the ranked product-stream merge
-// of the per-atom enumerations on a decomposed solver (product.go).
+// Enumerator streams the minimal triangulations of a graph. Obtain one
+// from Solver.Enumerate (non-decreasing cost order) or any other
+// core.Backend, and call Next until it reports exhaustion. It fronts one
+// of three machines: the Lawler–Murty RankedTriang of Figure 4 on a
+// monolithic solver, the ranked product-stream merge of the per-atom
+// enumerations on a decomposed solver (product.go), or an alternative
+// backend's machine (backend.go) — which is why the stream cache and
+// serving tiers can treat every backend's output identically.
 type Enumerator struct {
-	lm *lmEnumerator
-	pm *productEnumerator
+	lm  *lmEnumerator
+	pm  *productEnumerator
+	ext extMachine
 }
 
-// Next returns the next minimal triangulation in non-decreasing cost
-// order, or ok=false when the enumeration is complete. The time between
-// consecutive calls is polynomial in the initialization size (polynomial
-// delay under poly-MS, Theorem 4.4) — for a decomposed solver, in the
-// initialization size of the atoms.
+// extMachine is the seam alternative backends plug their enumeration
+// machinery into (see backend.go).
+type extMachine interface {
+	Next() (*Result, bool)
+	Remaining() int
+}
+
+// Next returns the next minimal triangulation, or ok=false when the
+// enumeration is complete. Solver enumerators emit in non-decreasing cost
+// order with time between consecutive calls polynomial in the
+// initialization size (polynomial delay under poly-MS, Theorem 4.4) — for
+// a decomposed solver, in the initialization size of the atoms. Other
+// backends emit per their Ranked contract.
 func (e *Enumerator) Next() (*Result, bool) {
+	if e.ext != nil {
+		return e.ext.Next()
+	}
 	if e.pm != nil {
 		return e.pm.Next()
 	}
@@ -35,6 +50,9 @@ func (e *Enumerator) Next() (*Result, bool) {
 // service wire, where it was misleading metadata (neither a bound on
 // remaining results nor a measure of buffered work).
 func (e *Enumerator) Remaining() int {
+	if e.ext != nil {
+		return e.ext.Remaining()
+	}
 	if e.pm != nil {
 		return e.pm.Remaining()
 	}

@@ -9,16 +9,22 @@ import (
 	"repro/internal/core"
 )
 
-// SolverKey identifies one initialized solver: the canonical fingerprint
-// of the submitted graph (graph.Fingerprint), the canonical cost key (see
-// buildCost) and the width bound (-1 for unbounded). Two requests with
-// equal keys are served by the same core.Solver — initialization (minimal
-// separators, PMCs, full blocks) dominates request latency, so this is
-// the cache that matters.
+// SolverKey identifies one initialized enumeration engine: the canonical
+// fingerprint of the submitted graph (graph.Fingerprint), the canonical
+// cost key (see buildCost), the width bound (-1 for unbounded) and the
+// backend kind serving it. Two requests with equal keys are served by the
+// same engine — for the DP backend, initialization (minimal separators,
+// PMCs, full blocks) dominates request latency, so this is the cache that
+// matters. The Backend field keeps the shared ranked-stream cache honest:
+// a DP stream and a MIS stream over one (graph, cost, bound) produce
+// different sequences, so their keys must never alias. The solver pool
+// itself only ever holds DP solvers (the MIS backends are O(1) to build
+// and are not pooled), so its keys all carry Backend == "dp".
 type SolverKey struct {
 	Fingerprint string
 	Cost        string
 	Bound       int
+	Backend     string
 }
 
 // PoolStats is a snapshot of SolverPool counters.

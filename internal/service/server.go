@@ -57,6 +57,17 @@ type Config struct {
 	// initialization and per-result delay on clique-separated graphs are
 	// exponentially worse — so production deployments leave it false.
 	NoDecompose bool
+	// DefaultBackend is the enumeration backend for requests that name
+	// none: "dp" (the default — ranked-exact, cost order), "mis"
+	// (unordered CKK separator-graph enumeration, no init cost),
+	// "mis-scored" (MIS with a cheap best-first heuristic order) or
+	// "auto" (probe the separator count and pick DP below the budget, MIS
+	// above; see core.SelectBackend). A request's backend field or
+	// ?backend= query knob overrides it per request.
+	DefaultBackend string
+	// BackendProbeBudget is the separator budget the auto policy probes
+	// under (default core.DefaultProbeBudget).
+	BackendProbeBudget int
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +104,12 @@ func (c Config) withDefaults() Config {
 	if c.StreamBudgetBytes <= 0 {
 		c.StreamBudgetBytes = defaultStreamBudget
 	}
+	if c.DefaultBackend == "" {
+		c.DefaultBackend = string(core.BackendDP)
+	}
+	if c.BackendProbeBudget <= 0 {
+		c.BackendProbeBudget = core.DefaultProbeBudget
+	}
 	return c
 }
 
@@ -113,6 +130,37 @@ type Server struct {
 	mux      *http.ServeMux
 	start    time.Time
 	requests atomic.Uint64
+	backends backendCounters
+}
+
+// backendCounters aggregates served enumerate requests per backend kind,
+// plus how many of them were routed by the auto probe rather than an
+// explicit choice. Snapshotted into /v1/stats.
+type backendCounters struct {
+	dp, mis, misScored, auto atomic.Uint64
+}
+
+func (b *backendCounters) count(kind core.BackendKind, autoRouted bool) {
+	switch kind {
+	case core.BackendMIS:
+		b.mis.Add(1)
+	case core.BackendMISScored:
+		b.misScored.Add(1)
+	default:
+		b.dp.Add(1)
+	}
+	if autoRouted {
+		b.auto.Add(1)
+	}
+}
+
+func (b *backendCounters) stats() BackendStats {
+	return BackendStats{
+		DP:           b.dp.Load(),
+		MIS:          b.mis.Load(),
+		MISScored:    b.misScored.Load(),
+		AutoResolved: b.auto.Load(),
+	}
 }
 
 // New returns a ready-to-serve Server.
@@ -203,6 +251,22 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// Backend resolution: the ?backend= query knob wins over the request
+	// body's backend field, which wins over the server default. "auto" is
+	// resolved after admission — the probe is real (if budget-bounded)
+	// work.
+	backendName := r.URL.Query().Get("backend")
+	if backendName == "" {
+		backendName = req.Backend
+	}
+	if backendName == "" {
+		backendName = s.cfg.DefaultBackend
+	}
+	kind, ok := core.ParseBackendKind(backendName)
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown backend %q (want auto, dp, mis or mis-scored)", backendName))
+		return
+	}
 
 	release, err := s.admit(ctx)
 	if err != nil {
@@ -211,48 +275,73 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	key := SolverKey{Fingerprint: g.Fingerprint(), Cost: costKey, Bound: bound}
-	solver, hit, err := s.pool.Get(ctx, key, func(bctx context.Context) (*core.Solver, error) {
-		bctx, cancel := context.WithTimeout(bctx, s.cfg.InitTimeout)
-		defer cancel()
-		opts := core.Options{NoDecompose: s.cfg.NoDecompose}
+	autoRouted := kind == core.BackendAuto
+	if autoRouted {
+		kind = core.SelectBackend(ctx, g, kind, s.cfg.BackendProbeBudget)
+	}
+
+	var backend core.Backend
+	var hit bool
+	if kind == core.BackendDP {
+		key := SolverKey{Fingerprint: g.Fingerprint(), Cost: costKey, Bound: bound, Backend: string(core.BackendDP)}
+		solver, poolHit, err := s.pool.Get(ctx, key, func(bctx context.Context) (*core.Solver, error) {
+			bctx, cancel := context.WithTimeout(bctx, s.cfg.InitTimeout)
+			defer cancel()
+			opts := core.Options{NoDecompose: s.cfg.NoDecompose}
+			if bound >= 0 {
+				b := bound
+				opts.WidthBound = &b
+			}
+			solver, err := core.New(bctx, g, c, opts)
+			if err != nil {
+				return nil, err
+			}
+			// Force the decomposed solver's lazy per-atom initialization here,
+			// inside the timeout-bounded singleflight build, so a huge atom
+			// cannot smuggle unbounded init work past InitTimeout into the
+			// first paging call.
+			if err := solver.Prepare(bctx); err != nil {
+				return nil, err
+			}
+			// Applied inside the build, before the solver is published to any
+			// other waiter.
+			solver.SetFullResolve(s.cfg.FullResolve)
+			return solver, nil
+		})
+		if err != nil {
+			// Cancelled or out-of-budget initialization is a capacity signal
+			// (503, as documented), not a server bug (500). The error names
+			// the escape hatch: the MIS backend has no init to time out.
+			status := http.StatusInternalServerError
+			if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				status = http.StatusServiceUnavailable
+			}
+			writeError(w, status, fmt.Errorf("solver initialization failed (consider ?backend=mis): %v", err))
+			return
+		}
+		backend, hit = solver, poolHit
+	} else {
+		// The MIS backends are O(1) to construct — the separator stream and
+		// the independent-set walk start lazily on the first result — so
+		// there is nothing to pool and no init budget to enforce. The
+		// shared-stream cache still dedups the enumeration work across
+		// consumers by key.
+		opts := core.MISOptions{Scored: kind == core.BackendMISScored}
 		if bound >= 0 {
 			b := bound
 			opts.WidthBound = &b
 		}
-		solver, err := core.New(bctx, g, c, opts)
-		if err != nil {
-			return nil, err
-		}
-		// Force the decomposed solver's lazy per-atom initialization here,
-		// inside the timeout-bounded singleflight build, so a huge atom
-		// cannot smuggle unbounded init work past InitTimeout into the
-		// first paging call.
-		if err := solver.Prepare(bctx); err != nil {
-			return nil, err
-		}
-		// Applied inside the build, before the solver is published to any
-		// other waiter.
-		solver.SetFullResolve(s.cfg.FullResolve)
-		return solver, nil
-	})
-	if err != nil {
-		// Cancelled or out-of-budget initialization is a capacity signal
-		// (503, as documented), not a server bug (500).
-		status := http.StatusInternalServerError
-		if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			status = http.StatusServiceUnavailable
-		}
-		writeError(w, status, fmt.Errorf("solver initialization failed: %v", err))
-		return
+		backend = core.NewMISBackend(g, c, opts)
 	}
+	s.backends.count(kind, autoRouted)
+	key := SolverKey{Fingerprint: g.Fingerprint(), Cost: costKey, Bound: bound, Backend: string(kind)}
 
 	if req.Stream {
-		s.streamResults(w, r, g, solver, key, req.MaxResults)
+		s.streamResults(w, r, g, backend, key, req.MaxResults)
 		return
 	}
 
-	sess, err := s.sessions.Create(solver, key)
+	sess, err := s.sessions.Create(backend, key)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -272,9 +361,13 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		Done:     done,
 		CacheHit: hit,
 		Cost:     c.Name(),
+		Backend:  string(kind),
+		Ranked:   backend.Ranked(),
 		Graph:    &GraphInfo{N: g.Universe(), M: g.NumEdges(), Fingerprint: key.Fingerprint},
-		Solver:   solverInfo(solver),
 		Results:  pageJSON(g, 0, results),
+	}
+	if solver, isDP := backend.(*core.Solver); isDP {
+		resp.Solver = solverInfo(solver)
 	}
 	if !done {
 		resp.Session = sess.Token
@@ -294,9 +387,9 @@ const streamWriteTimeout = 30 * time.Second
 // an admission slot forever. No session is created; the stream is the
 // whole lifecycle. The results come from the same shared materialized
 // stream the paging sessions read: concurrent NDJSON streams and sessions
-// on one (graph, cost, bound) key split a single enumeration between
-// them instead of each running their own.
-func (s *Server) streamResults(w http.ResponseWriter, r *http.Request, g *graph.Graph, solver *core.Solver, key SolverKey, max int) {
+// on one (graph, cost, bound, backend) key split a single enumeration
+// between them instead of each running their own.
+func (s *Server) streamResults(w http.ResponseWriter, r *http.Request, g *graph.Graph, backend core.Backend, key SolverKey, max int) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	rc := http.NewResponseController(w)
@@ -304,7 +397,7 @@ func (s *Server) streamResults(w http.ResponseWriter, r *http.Request, g *graph.
 	enc := json.NewEncoder(w)
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.StreamTimeout)
 	defer cancel()
-	h := s.streams.Acquire(key, solver)
+	h := s.streams.Acquire(key, backend)
 	defer h.Release()
 	count := 0
 	for max <= 0 || count < max {
@@ -447,6 +540,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Solver:        s.pool.ReuseStats(),
 		Atoms:         s.pool.AtomStats(),
 		Streams:       s.streams.Stats(),
+		Backends:      s.backends.stats(),
 	})
 }
 

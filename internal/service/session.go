@@ -114,14 +114,14 @@ func NewSessionManager(max int, idle time.Duration, store *StreamStore) *Session
 }
 
 // Create registers a new cursor over the shared stream for key, served by
-// solver on a stream-cache miss. No enumeration work happens here — the
+// backend on a stream-cache miss. No enumeration work happens here — the
 // first NextPage drives (or merely reads) the shared buffer.
-func (m *SessionManager) Create(solver *core.Solver, key SolverKey) (*Session, error) {
+func (m *SessionManager) Create(backend core.Backend, key SolverKey) (*Session, error) {
 	ctx, cancel := context.WithCancel(m.base)
 	s := &Session{
 		Key:    key,
-		g:      solver.Graph(),
-		stream: m.store.Acquire(key, solver),
+		g:      backend.Graph(),
+		stream: m.store.Acquire(key, backend),
 		ctx:    ctx,
 		cancel: cancel,
 		last:   time.Now(),

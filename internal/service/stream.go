@@ -105,11 +105,13 @@ type StreamHandle struct {
 }
 
 // Acquire returns a handle on the materialized stream for key, creating
-// it over solver's enumeration on a miss. The caller must ensure key
-// uniquely identifies (graph, cost, options) — two Acquires with equal
-// keys share one buffer regardless of the solver passed (the server's
-// SolverKey guarantees this; see pool.go).
-func (st *StreamStore) Acquire(key SolverKey, solver *core.Solver) *StreamHandle {
+// it over backend's enumeration on a miss. The caller must ensure key
+// uniquely identifies (graph, cost, options, backend) — two Acquires with
+// equal keys share one buffer regardless of the backend passed (the
+// server's SolverKey guarantees this; see pool.go). Any core.Backend
+// works here because every backend's enumeration order is deterministic,
+// which is what the evict-and-replay contract of SharedStream needs.
+func (st *StreamStore) Acquire(key SolverKey, backend core.Backend) *StreamHandle {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	e, ok := st.entries[key]
@@ -122,7 +124,7 @@ func (st *StreamStore) Acquire(key SolverKey, solver *core.Solver) *StreamHandle
 			// Background context: the producer must outlive any single
 			// consumer, and consumer cancellation is observed in At.
 			stream: core.NewSharedStream(func() *core.Enumerator {
-				return solver.EnumerateContext(context.Background())
+				return backend.EnumerateContext(context.Background())
 			}),
 			handles: make(map[*StreamHandle]struct{}),
 		}

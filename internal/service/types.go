@@ -26,6 +26,12 @@ type EnumerateRequest struct {
 	Domains []int  `json:"domains,omitempty"`
 	Bound   *int   `json:"bound,omitempty"`
 
+	// Backend selects the enumeration engine: "dp" (ranked-exact, cost
+	// order), "mis" (unordered, no init cost), "mis-scored" (heuristic
+	// best-first) or "auto" (separator-count probe). Empty defers to the
+	// server's default; the ?backend= query knob overrides both.
+	Backend string `json:"backend,omitempty"`
+
 	PageSize   int  `json:"page_size,omitempty"`
 	MaxResults int  `json:"max_results,omitempty"`
 	Stream     bool `json:"stream,omitempty"`
@@ -64,13 +70,19 @@ type SolverInfo struct {
 // EnumerateResponse is the body returned by POST /v1/enumerate and, with
 // only Session/Done/Results set, by GET /v1/sessions/{token}/next.
 type EnumerateResponse struct {
-	Session  string              `json:"session,omitempty"`
-	Done     bool                `json:"done"`
-	CacheHit bool                `json:"cache_hit,omitempty"`
-	Cost     string              `json:"cost,omitempty"`
-	Graph    *GraphInfo          `json:"graph,omitempty"`
-	Solver   *SolverInfo         `json:"solver,omitempty"`
-	Results  []TriangulationJSON `json:"results"`
+	Session  string `json:"session,omitempty"`
+	Done     bool   `json:"done"`
+	CacheHit bool   `json:"cache_hit,omitempty"`
+	Cost     string `json:"cost,omitempty"`
+	// Backend is the engine that served the request after auto
+	// resolution; Ranked reports whether its results arrive in
+	// non-decreasing cost order (false for the MIS backends, whose order
+	// is arbitrary or merely heuristic).
+	Backend string              `json:"backend,omitempty"`
+	Ranked  bool                `json:"ranked,omitempty"`
+	Graph   *GraphInfo          `json:"graph,omitempty"`
+	Solver  *SolverInfo         `json:"solver,omitempty"`
+	Results []TriangulationJSON `json:"results"`
 }
 
 // SessionInfo is the body of GET /v1/sessions/{token}.
@@ -118,6 +130,17 @@ type StatsResponse struct {
 	Solver        core.ReuseStats `json:"solver"`
 	Atoms         AtomStats       `json:"atoms"`
 	Streams       StreamStats     `json:"streams"`
+	Backends      BackendStats    `json:"backends"`
+}
+
+// BackendStats counts enumerate requests served per backend kind.
+// AutoResolved is how many of those were routed by the auto probe rather
+// than an explicit backend choice (it overlaps the per-kind counts).
+type BackendStats struct {
+	DP           uint64 `json:"dp"`
+	MIS          uint64 `json:"mis"`
+	MISScored    uint64 `json:"mis_scored"`
+	AutoResolved uint64 `json:"auto_resolved"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

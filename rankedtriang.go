@@ -214,6 +214,43 @@ type CKKEnumerator = ckk.Enumerator
 // experiments.
 func NewCKK(g *Graph) *CKKEnumerator { return ckk.New(g, nil) }
 
+// Backend is a pluggable enumeration engine over one (graph, cost) pair:
+// the ranked-exact DP solver and the CKK separator-graph MIS adapters all
+// implement it, producing the same Result stream shape, so the serving
+// tier (shared streams, sessions, NDJSON fan-out) is backend-agnostic.
+type Backend = core.Backend
+
+// BackendKind names an enumeration strategy ("dp", "mis", "mis-scored",
+// "auto").
+type BackendKind = core.BackendKind
+
+// Backend kinds (see core.BackendKind).
+const (
+	BackendAuto      = core.BackendAuto
+	BackendDP        = core.BackendDP
+	BackendMIS       = core.BackendMIS
+	BackendMISScored = core.BackendMISScored
+)
+
+// MISBackendOptions tunes NewMISBackend (width bound post-filter,
+// heuristic best-first scoring).
+type MISBackendOptions = core.MISOptions
+
+// NewMISBackend returns the Carmeli–Kenig–Kimelfeld separator-graph MIS
+// backend for (g, c): no initialization cost, incremental polynomial
+// time, results unordered (or heuristically best-first with
+// MISBackendOptions.Scored).
+func NewMISBackend(g *Graph, c Cost, opts MISBackendOptions) Backend {
+	return core.NewMISBackend(g, c, opts)
+}
+
+// SelectBackend resolves BackendAuto for a graph by probing its minimal
+// separator count under a budget (<= 0 selects core.DefaultProbeBudget):
+// the ranked DP below the budget, MIS above. An explicit kind wins.
+func SelectBackend(ctx context.Context, g *Graph, kind BackendKind, probeBudget int) BackendKind {
+	return core.SelectBackend(ctx, g, kind, probeBudget)
+}
+
 // FactorModel is a discrete factor model for junction-tree inference.
 type FactorModel = jt.Model
 
