@@ -22,6 +22,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // side listener only; the service handler uses its own mux
 	"os/signal"
 	"syscall"
 	"time"
@@ -42,6 +43,10 @@ func main() {
 		initTimeout   = flag.Duration("init-timeout", 60*time.Second, "per-graph solver initialization budget")
 		streamTimeout = flag.Duration("stream-timeout", 5*time.Minute, "total lifetime budget of one NDJSON stream")
 		streamBudget  = flag.Int64("stream-budget", 64<<20, "byte budget for shared materialized result buffers (LRU-evicted past it)")
+		solveWorkers  = flag.Int("solve-workers", 0, "goroutines solving Lawler–Murty branches per stream Next; 0 = GOMAXPROCS, 1 = sequential (identical output either way)")
+		prefetchAhead = flag.Int("prefetch-ahead", 0, "ranks the speculative producer runs ahead of the fastest cursor per stream; 0 = default (64), negative disables prefetch")
+		prefetchBytes = flag.Int64("prefetch-bytes", 0, "per-stream byte ceiling on speculative lookahead; 0 = default (8 MiB), negative = no ceiling")
+		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof on this side listener (e.g. localhost:6060); empty disables")
 		fullResolve   = flag.Bool("full-resolve", false, "disable the incremental DP: every branch re-solves from scratch (A/B debugging; identical output)")
 		noDecompose   = flag.Bool("no-decompose", false, "disable the clique-separator atom decomposition: always solve the whole graph monolithically (A/B debugging)")
 		backend       = flag.String("backend", "dp", "default enumeration backend: dp (ranked-exact), mis (unordered, no init cost), mis-scored (heuristic best-first) or auto (separator probe); overridable per request via ?backend=")
@@ -64,6 +69,9 @@ func main() {
 		InitTimeout:        *initTimeout,
 		StreamTimeout:      *streamTimeout,
 		StreamBudgetBytes:  *streamBudget,
+		SolveWorkers:       *solveWorkers,
+		PrefetchAhead:      *prefetchAhead,
+		PrefetchBytes:      *prefetchBytes,
 		FullResolve:        *fullResolve,
 		NoDecompose:        *noDecompose,
 		DefaultBackend:     *backend,
@@ -73,6 +81,19 @@ func main() {
 		Addr:              *addr,
 		Handler:           svc,
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	if *pprofAddr != "" {
+		// The profiling endpoints live on a dedicated listener — typically
+		// bound to localhost — so they are never reachable through the
+		// public service port. net/http/pprof registers on the default mux,
+		// which only this listener serves (the service has its own).
+		go func() {
+			log.Printf("rankedtriangd: pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("rankedtriangd: pprof listener: %v", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

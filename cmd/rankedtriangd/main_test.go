@@ -139,3 +139,45 @@ func postJSON(t *testing.T, url, body string, out any) {
 		t.Fatal(err)
 	}
 }
+
+// TestPprofSideListener verifies the -pprof wiring: the blank
+// net/http/pprof import registers the profiling endpoints on the default
+// mux, which only the side listener serves — the service handler (its
+// own mux) must not expose them.
+func TestPprofSideListener(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	side := &http.Server{Handler: http.DefaultServeMux}
+	go side.Serve(ln)
+	t.Cleanup(func() { side.Close() })
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof side listener: status %d", resp.StatusCode)
+	}
+
+	// The service mux must not serve profiling endpoints.
+	svc := service.New(service.Config{})
+	defer svc.Close()
+	svcLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svcSrv := &http.Server{Handler: svc}
+	go svcSrv.Serve(svcLn)
+	t.Cleanup(func() { svcSrv.Close() })
+	resp, err = http.Get("http://" + svcLn.Addr().String() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("profiling endpoints must not be reachable through the service port")
+	}
+}

@@ -70,6 +70,13 @@ type Backend interface {
 	// EnumerateContext starts a fresh enumeration bound to ctx (see
 	// Solver.EnumerateContext for the cancellation semantics).
 	EnumerateContext(ctx context.Context) *Enumerator
+	// EnumerateParallelContext is EnumerateContext with the independent
+	// sub-solves of each Next fanned over a worker pool where the machine
+	// supports it — the Lawler–Murty branch solves on the DP backend. The
+	// emitted sequence is identical for every worker count; machines with
+	// no parallelizable inner step (the MIS walk is inherently sequential)
+	// ignore workers and behave exactly like EnumerateContext.
+	EnumerateParallelContext(ctx context.Context, workers int) *Enumerator
 }
 
 // BackendKind on a Solver: the ranked-exact DP.
@@ -123,6 +130,14 @@ func (b *misBackend) BackendKind() BackendKind {
 func (b *misBackend) Ranked() bool        { return false }
 func (b *misBackend) Graph() *graph.Graph { return b.g }
 func (b *misBackend) Cost() cost.Cost     { return b.c }
+
+// EnumerateParallelContext on the MIS backend ignores workers: the
+// separator-graph MIS walk advances one move at a time with nothing
+// independent to fan out (each move's admissibility depends on the set
+// reached so far), so parallel and sequential enumeration coincide.
+func (b *misBackend) EnumerateParallelContext(ctx context.Context, workers int) *Enumerator {
+	return b.EnumerateContext(ctx)
+}
 
 func (b *misBackend) EnumerateContext(ctx context.Context) *Enumerator {
 	m := &misEnumerator{b: b, ctx: ctx}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -62,6 +63,43 @@ func BenchmarkEnumerateDelay(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkBranchParallel measures the per-rank delay of the parallel
+// branch solver at increasing worker counts on a separator-rich G(n, p)
+// instance. Each Next() of the ranked enumeration solves one constrained
+// branch per fresh separator of the popped result — independent solves
+// the paper notes can run concurrently (§7.1) — so on a multi-core host
+// the delay should shrink toward the longest single branch as workers
+// grow. Run on one core the worker pool only adds scheduling overhead;
+// interpret the scaling numbers alongside GOMAXPROCS.
+func BenchmarkBranchParallel(b *testing.B) {
+	g := delayBenchGraph(16, 0.25, 7)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			// Monolithic machine for the same reason as BenchmarkEnumerateDelay:
+			// the branch fan-out being measured lives inside one DP instance.
+			s, err := New(context.Background(), g, cost.FillIn{}, Options{NoDecompose: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			e := s.EnumerateParallelContext(context.Background(), workers)
+			if _, ok := e.Next(); !ok {
+				b.Fatal("empty enumeration")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := e.Next(); !ok {
+					b.StopTimer()
+					e = s.EnumerateParallelContext(context.Background(), workers)
+					if _, ok := e.Next(); !ok {
+						b.Fatal("empty enumeration")
+					}
+					b.StartTimer()
+				}
+			}
+		})
 	}
 }
 

@@ -239,9 +239,13 @@ func (e *lmEnumerator) Next() (*Result, bool) {
 func (e *lmEnumerator) Remaining() int { return len(e.queue) }
 
 // TopK returns up to k minimal triangulations of the solver's graph by
-// increasing cost.
+// increasing cost, solving Lawler–Murty branches over GOMAXPROCS workers
+// — the same default TopKContext applies when its worker count is unset,
+// so the two entry points agree (the emitted prefix is identical for
+// every worker count; only the delay changes). Pass workers=1 to
+// TopKContext for a strictly sequential enumeration.
 func (s *Solver) TopK(k int) []*Result {
-	return s.TopKContext(context.Background(), k, 1)
+	return s.TopKContext(context.Background(), k, 0)
 }
 
 // effectiveWorkers normalizes a requested branch-solver worker count:

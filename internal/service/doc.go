@@ -15,15 +15,22 @@
 //     once per key: an append-only result buffer (core.SharedStream)
 //     shared by every consumer of that key, produced on demand with a
 //     per-rank singleflight — the first cursor to need rank i drives the
-//     enumerator, later cursors read the buffer. Buffers live under an
-//     LRU byte budget (Config.StreamBudgetBytes, -stream-budget); an
-//     evicted buffer rebuilds lazily and, because the enumeration order
-//     is deterministic, replays identical ranks.
+//     enumerator, later cursors read the buffer. Each Next fans its
+//     independent Lawler–Murty branch solves over a worker pool
+//     (Config.SolveWorkers, -solve-workers; the emitted sequence is
+//     identical at any worker count), and a speculative producer per
+//     stream runs the enumeration up to Config.PrefetchAhead ranks and
+//     Config.PrefetchBytes past the fastest cursor so warm reads are
+//     buffer hits, not solves. Buffers live under an LRU byte budget
+//     (Config.StreamBudgetBytes, -stream-budget); an evicted buffer
+//     rebuilds lazily and, because the enumeration order is
+//     deterministic, replays identical ranks.
 //   - SessionManager holds thin cursors (token + position) over the
 //     shared streams behind opaque resume tokens so clients page through
 //     results across requests. Idle sessions are evicted by a janitor;
-//     an abandoned stream burns no CPU by construction, since production
-//     only ever happens on behalf of a paging cursor.
+//     an abandoned stream burns no CPU: demand production only happens
+//     on behalf of a paging cursor, and the speculative producer is
+//     parked whenever a stream's last consumer goes away.
 //   - Server wires everything behind an http.Handler with
 //     bounded-concurrency admission and graceful shutdown; the NDJSON
 //     streaming mode reads the same shared buffers as the paging
@@ -119,7 +126,21 @@
 // A stream hit means a new session or NDJSON stream rode an existing
 // materialized buffer instead of enumerating privately — N concurrent
 // clients on one graph cost one enumeration, not N (see
-// BenchmarkSharedStreamFanout and BENCH_stream.json). GET /healthz —
+// BenchmarkSharedStreamFanout and BENCH_stream.json).
+//
+// Stats also report the speculation ledger:
+//
+//	"prefetch": {"enabled": true, "solve_workers": 8, "ahead_ranks": 64,
+//	             "ahead_bytes": 8388608, "buffered_hits": 350,
+//	             "demand_solves": 40, "prefetch_solves": 120,
+//	             "pauses": 2, "resumes": 1, "lookahead_high_water": 64}
+//
+// buffered_hits counts per-rank reads served straight from a buffer (no
+// solve on the request's latency path); demand_solves and
+// prefetch_solves split the production work between waiting consumers
+// and the background producers; pauses/resumes count producers parked
+// on last-cursor release and woken by the next acquire (see
+// BenchmarkPrefetchReadLatency and BENCH_parallel.json). GET /healthz —
 // liveness.
 //
 // Errors are {"error": "…"} with a 4xx/5xx status: 400 for malformed

@@ -73,6 +73,14 @@ type StreamStore struct {
 	hits       uint64
 	misses     uint64
 	evictions  uint64
+
+	// Production tuning, applied to streams created after Tune (see Tune).
+	solveWorkers  int
+	prefetchAhead int
+	prefetchBytes int64
+	// Pause/resume bookkeeping for streams that no longer exist survives
+	// here; live-stream counters are aggregated from the entries.
+	pfRetired core.PrefetchStats
 }
 
 // NewStreamStore returns a store evicting buffers beyond budgetBytes
@@ -91,6 +99,75 @@ func NewStreamStore(budgetBytes int64, maxStreams int) *StreamStore {
 		maxEntries: maxStreams,
 		entries:    make(map[SolverKey]*streamEntry),
 		lru:        list.New(),
+	}
+}
+
+// Tune configures how this store's streams produce. Each Next of a
+// stream created after Tune fans its independent branch solves over
+// solveWorkers goroutines (<= 1 means sequential; the emitted sequence is
+// identical either way), and its speculative producer runs the
+// enumeration up to prefetchAhead ranks past the fastest cursor, within
+// prefetchBytes of buffered footprint (prefetchAhead <= 0 disables
+// speculation, prefetchBytes <= 0 leaves it byte-unbounded). The zero
+// store — no Tune — is the demand-driven sequential baseline.
+func (st *StreamStore) Tune(solveWorkers, prefetchAhead int, prefetchBytes int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.solveWorkers = solveWorkers
+	st.prefetchAhead = prefetchAhead
+	st.prefetchBytes = prefetchBytes
+}
+
+// dropEntryLocked detaches e from the table and LRU, reclaims its byte
+// accounting, folds its prefetch counters into the retired aggregate and
+// terminates its speculative producer. The caller holds st.mu (lock
+// order store.mu → stream.mu is safe: SharedStream never calls back into
+// the store).
+func (st *StreamStore) dropEntryLocked(e *streamEntry) {
+	st.total -= e.bytes
+	e.bytes = 0
+	st.lru.Remove(e.elem)
+	e.elem = nil
+	delete(st.entries, e.key)
+	st.pfRetired = sumPrefetchStats(st.pfRetired, e.stream.PrefetchStats())
+	e.stream.StopPrefetch()
+}
+
+// sumPrefetchStats folds b into a (counters add; the high-water mark is
+// the max).
+func sumPrefetchStats(a, b core.PrefetchStats) core.PrefetchStats {
+	a.Hits += b.Hits
+	a.DemandSolves += b.DemandSolves
+	a.PrefetchSolves += b.PrefetchSolves
+	a.Pauses += b.Pauses
+	a.Resumes += b.Resumes
+	if b.LookaheadHighWater > a.LookaheadHighWater {
+		a.LookaheadHighWater = b.LookaheadHighWater
+	}
+	return a
+}
+
+// PrefetchStats aggregates the demand-vs-speculation counters over every
+// stream this store has ever held (dropped streams' counts are folded
+// into a retired aggregate, so the numbers are monotone).
+func (st *StreamStore) PrefetchStats() core.PrefetchStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := st.pfRetired
+	for _, e := range st.entries {
+		out = sumPrefetchStats(out, e.stream.PrefetchStats())
+	}
+	return out
+}
+
+// Close terminates every stream's speculative producer. Buffers and
+// cursors stay readable (demand-driven); for server shutdown, where
+// parked prefetch goroutines should not outlive the service.
+func (st *StreamStore) Close() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, e := range st.entries {
+		e.stream.StopPrefetch()
 	}
 }
 
@@ -119,15 +196,19 @@ func (st *StreamStore) Acquire(key SolverKey, backend core.Backend) *StreamHandl
 		st.hits++
 	} else {
 		st.misses++
+		workers := st.solveWorkers
 		e = &streamEntry{
 			key: key,
 			// Background context: the producer must outlive any single
-			// consumer, and consumer cancellation is observed in At.
+			// consumer, and consumer cancellation is observed in At. Each
+			// Next fans its independent branch solves over the store's
+			// worker pool size.
 			stream: core.NewSharedStream(func() *core.Enumerator {
-				return backend.EnumerateContext(context.Background())
+				return backend.EnumerateParallelContext(context.Background(), workers)
 			}),
 			handles: make(map[*StreamHandle]struct{}),
 		}
+		e.stream.ConfigurePrefetch(st.prefetchAhead, st.prefetchBytes)
 		st.entries[key] = e
 		e.elem = st.lru.PushFront(e)
 		// Enforce the entry cap on the cold end: only unreferenced entries
@@ -138,17 +219,18 @@ func (st *StreamStore) Acquire(key SolverKey, backend core.Backend) *StreamHandl
 			prev := el.Prev()
 			v := el.Value.(*streamEntry)
 			if v != e && v.refs == 0 {
-				st.total -= v.bytes
-				v.bytes = 0
-				st.lru.Remove(el)
-				v.elem = nil
-				delete(st.entries, v.key)
+				st.dropEntryLocked(v)
 				st.evictions++
 			}
 			el = prev
 		}
 	}
 	e.refs++
+	if e.refs == 1 {
+		// First consumer (back): un-park the speculative producer. A no-op
+		// on fresh streams, which start unpaused.
+		e.stream.ResumePrefetch()
+	}
 	st.lru.MoveToFront(e.elem)
 	h := &StreamHandle{store: st, e: e}
 	e.handles[h] = struct{}{}
@@ -179,7 +261,9 @@ func (h *StreamHandle) At(ctx context.Context, i int) (*core.Result, bool, error
 // BufferedAhead reports how many results past position pos have already
 // been materialized — the ranks a consumer at pos can read without any
 // solving work (ranks a budget trim dropped would need a rebuild, so
-// this is the optimistic count).
+// this is the optimistic count). Under speculative prefetch the stream's
+// producer actively keeps this positive for cursors inside the lookahead
+// budget.
 func (h *StreamHandle) BufferedAhead(pos int) int {
 	if n := h.e.stream.Produced() - pos; n > 0 {
 		return n
@@ -201,16 +285,17 @@ func (st *StreamStore) release(h *StreamHandle) {
 	e := h.e
 	delete(e.handles, h)
 	e.refs--
+	if e.refs == 0 {
+		// No live consumers: park the speculative producer so an abandoned
+		// stream burns no CPU — PR 4's invariant, now under prefetch too.
+		e.stream.PausePrefetch()
+	}
 	// A dropped (or never-produced) buffer holds no bytes, so the byte
 	// budget would never reclaim its entry; drop it here once unreferenced
 	// to keep the table bounded. Buffers with content stay cached — they
 	// are the fan-out asset — until the budget evicts them.
 	if e.refs == 0 && e.stream.Buffered() == 0 && e.elem != nil {
-		st.lru.Remove(e.elem)
-		e.elem = nil
-		st.total -= e.bytes
-		e.bytes = 0
-		delete(st.entries, e.key)
+		st.dropEntryLocked(e)
 	}
 }
 
@@ -262,12 +347,13 @@ func (st *StreamStore) touch(e *streamEntry) {
 		if v != e && v.bytes > 0 {
 			st.total -= v.bytes
 			v.bytes = 0
+			// Reset clears the stream's demand mark too, so its speculative
+			// producer (if still referenced and running) idles instead of
+			// re-materializing the buffer the eviction just reclaimed.
 			v.stream.Reset()
 			st.evictions++
 			if v.refs == 0 {
-				st.lru.Remove(el)
-				v.elem = nil
-				delete(st.entries, v.key)
+				st.dropEntryLocked(v)
 			}
 		}
 		el = prev

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/gen"
+	"repro/internal/graph"
 )
 
 // oracleLines renders a solver's full enumeration the way the wire does —
@@ -514,6 +515,226 @@ func appendResultLines(lines []string, results []TriangulationJSON) ([]string, e
 		lines = append(lines, string(b))
 	}
 	return lines, nil
+}
+
+// waitUntil polls cond for up to two seconds — for asserting that a
+// speculative producer eventually reaches a state.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestStreamStorePrefetchPausesOnLastRelease wires the PR 4 invariant —
+// abandoned streams burn no CPU — through the speculative producer: the
+// last Release parks it, the next Acquire wakes it, and the stream a
+// woken producer finishes is byte-identical to a solo enumeration.
+func TestStreamStorePrefetchPausesOnLastRelease(t *testing.T) {
+	ctx := context.Background()
+	store := NewStreamStore(0, 0)
+	store.Tune(1, 8, 0)
+	solver := core.NewSolver(gen.Cycle(9), cost.FillIn{}) // 429 results
+	key := SolverKey{Fingerprint: "c9"}
+
+	h := store.Acquire(key, solver)
+	if _, ok, err := h.At(ctx, 0); !ok || err != nil {
+		t.Fatalf("rank 0: ok=%v err=%v", ok, err)
+	}
+	waitUntil(t, "speculation to start", func() bool {
+		return store.PrefetchStats().PrefetchSolves > 0
+	})
+	h.Release()
+	waitUntil(t, "last release to pause the producer", func() bool {
+		return store.PrefetchStats().Pauses >= 1
+	})
+	// A pause can leave one solve in flight; wait for production to settle,
+	// then assert it stays settled.
+	var parked uint64
+	for {
+		parked = store.PrefetchStats().PrefetchSolves
+		time.Sleep(20 * time.Millisecond)
+		if store.PrefetchStats().PrefetchSolves == parked {
+			break
+		}
+	}
+	time.Sleep(30 * time.Millisecond)
+	if got := store.PrefetchStats().PrefetchSolves; got != parked {
+		t.Fatalf("parked producer kept producing: %d -> %d speculative solves", parked, got)
+	}
+
+	// The next consumer resumes speculation, and everything the producer
+	// built — before and after the park — matches a solo enumeration.
+	h2 := store.Acquire(key, solver)
+	defer h2.Release()
+	waitUntil(t, "re-acquire to resume the producer", func() bool {
+		return store.PrefetchStats().Resumes >= 1
+	})
+	oracle := core.NewSolver(gen.Cycle(9), cost.FillIn{})
+	sig := func(r *core.Result) string { return fmt.Sprintf("%g|%v", r.Cost, r.Bags) }
+	e := oracle.Enumerate()
+	for i := 0; ; i++ {
+		want, wok := e.Next()
+		got, gok, err := h2.At(ctx, i)
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+		if gok != wok {
+			t.Fatalf("rank %d: exhaustion mismatch (stream %v, oracle %v)", i, gok, wok)
+		}
+		if !wok {
+			break
+		}
+		if sig(got) != sig(want) {
+			t.Fatalf("rank %d differs from the solo enumeration", i)
+		}
+	}
+}
+
+// TestStreamStorePrefetchOracleUnderEviction drives concurrent cursors on
+// two keys under a byte budget tight enough to evict and rebuild streams
+// while their speculative producers are live. Oracle: every cursor sees
+// the byte-identical rank order of a solo enumerator — with prefetch on.
+// Run with -race in CI.
+func TestStreamStorePrefetchOracleUnderEviction(t *testing.T) {
+	graphs := []struct {
+		key SolverKey
+		g   *graph.Graph
+	}{
+		{SolverKey{Fingerprint: "c8"}, gen.Cycle(8)}, // 132 results
+		{SolverKey{Fingerprint: "c9"}, gen.Cycle(9)}, // 429 results
+	}
+	sig := func(r *core.Result) string { return fmt.Sprintf("%g|%v", r.Cost, r.Bags) }
+	oracles := make([][]string, len(graphs))
+	solvers := make([]*core.Solver, len(graphs))
+	for i, gr := range graphs {
+		solvers[i] = core.NewSolver(gr.g, cost.FillIn{})
+		o := core.NewSolver(gr.g, cost.FillIn{})
+		e := o.Enumerate()
+		for {
+			r, ok := e.Next()
+			if !ok {
+				break
+			}
+			oracles[i] = append(oracles[i], sig(r))
+		}
+	}
+
+	// ~20 results of budget across two streams of 132 and 429 results
+	// forces repeated eviction/rebuild mid-speculation.
+	budget := 20 * solvers[0].TopK(1)[0].SizeEstimate()
+	store := NewStreamStore(budget, 0)
+	store.Tune(2, 16, 0)
+
+	const cursorsPerKey = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, len(graphs)*cursorsPerKey)
+	for gi := range graphs {
+		for c := 0; c < cursorsPerKey; c++ {
+			wg.Add(1)
+			go func(gi, c int) {
+				defer wg.Done()
+				ctx := context.Background()
+				h := store.Acquire(graphs[gi].key, solvers[gi])
+				defer h.Release()
+				// Churn the refcount on one cursor per key so pause/resume
+				// transitions interleave with the eviction traffic.
+				if c == 0 {
+					h.Release()
+					h = store.Acquire(graphs[gi].key, solvers[gi])
+					defer h.Release()
+				}
+				for i := 0; i < len(oracles[gi]); i++ {
+					r, ok, err := h.At(ctx, i)
+					if err != nil {
+						errs <- fmt.Errorf("key %d rank %d: %v", gi, i, err)
+						return
+					}
+					if !ok {
+						errs <- fmt.Errorf("key %d: spurious exhaustion at rank %d", gi, i)
+						return
+					}
+					if sig(r) != oracles[gi][i] {
+						errs <- fmt.Errorf("key %d rank %d differs from solo enumerator under eviction churn", gi, i)
+						return
+					}
+				}
+			}(gi, c)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := store.Stats(); st.Evictions == 0 {
+		t.Fatalf("budget never forced an eviction — test exercised nothing: %+v", st)
+	}
+}
+
+// TestStatsPrefetchBlock: /v1/stats surfaces the prefetch block — enabled
+// by default, speculative solves accumulating after a first page, and a
+// warm second consumer reading buffered hits.
+func TestStatsPrefetchBlock(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	g6 := cycleGraph6(t, 8)
+	body := fmt.Sprintf(`{"graph6": %q, "cost": "fill", "page_size": 5}`, g6)
+	postEnumerate(t, ts, body)
+
+	stats := getStats(t, ts)
+	if !stats.Prefetch.Enabled || stats.Prefetch.AheadRanks != defaultPrefetchAhead {
+		t.Fatalf("prefetch should be on by default: %+v", stats.Prefetch)
+	}
+	if stats.Prefetch.SolveWorkers < 1 {
+		t.Fatalf("solve workers should default to GOMAXPROCS: %+v", stats.Prefetch)
+	}
+	// The page demanded 5 ranks; the speculative producer runs ahead of
+	// them in the background.
+	waitUntil(t, "speculative solves to accrue", func() bool {
+		return getStats(t, ts).Prefetch.PrefetchSolves > 0
+	})
+	waitUntil(t, "lookahead high water to register", func() bool {
+		return getStats(t, ts).Prefetch.LookaheadHighWater > 0
+	})
+
+	// A second consumer of the same graph rides the speculatively built
+	// buffer: its reads are hits, not demand solves.
+	before := getStats(t, ts).Prefetch
+	postEnumerate(t, ts, body)
+	after := getStats(t, ts).Prefetch
+	if after.BufferedHits <= before.BufferedHits {
+		t.Fatalf("warm consumer should read buffered hits: %+v -> %+v", before, after)
+	}
+	if after.DemandSolves > before.DemandSolves {
+		t.Fatalf("warm consumer inside the lookahead should not demand-solve: %+v -> %+v", before, after)
+	}
+}
+
+// TestStatsPrefetchDisabled: negative config knobs switch the serving
+// tier back to the demand-driven sequential baseline, and /v1/stats says
+// so.
+func TestStatsPrefetchDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{PrefetchAhead: -1, SolveWorkers: -1})
+	g6 := cycleGraph6(t, 7)
+	postEnumerate(t, ts, fmt.Sprintf(`{"graph6": %q, "cost": "fill", "page_size": 5}`, g6))
+	time.Sleep(50 * time.Millisecond) // give any (wrongly) started producer time to show up
+	stats := getStats(t, ts)
+	if stats.Prefetch.Enabled {
+		t.Fatalf("negative PrefetchAhead must disable speculation: %+v", stats.Prefetch)
+	}
+	if stats.Prefetch.PrefetchSolves != 0 || stats.Prefetch.Pauses != 0 {
+		t.Fatalf("disabled prefetch must not speculate: %+v", stats.Prefetch)
+	}
+	if stats.Prefetch.SolveWorkers != 1 {
+		t.Fatalf("negative SolveWorkers must mean sequential: %+v", stats.Prefetch)
+	}
+	if stats.Prefetch.DemandSolves < 5 {
+		t.Fatalf("demand production should still be counted: %+v", stats.Prefetch)
+	}
 }
 
 // TestStatsStreamCounters: /v1/stats surfaces the stream cache block with

@@ -89,9 +89,12 @@ type EnumerateResponse struct {
 //
 // BufferedAhead is how many results past this session's cursor are
 // already materialized in the shared stream buffer — the ranks the next
-// pages can serve without any solving work (other cursors on the same
-// graph, or this session's own interrupted pages, may have produced
-// them). It replaces the old queued_partitions field, which reported the
+// pages can serve without any solving work. With speculative prefetch on
+// (the default) the stream's producer keeps this positive for any cursor
+// within the lookahead budget, so it genuinely predicts that the next
+// page is a buffer read; with prefetch off it is nonzero only when other
+// cursors on the same graph, or this session's own interrupted pages,
+// produced ranks ahead. It replaces the old queued_partitions field, which reported the
 // enumerator's internal Lawler–Murty queue depth: an implementation
 // detail that was neither a bound on remaining results nor a measure of
 // buffered work, i.e. misleading wire metadata.
@@ -114,6 +117,29 @@ type AtomStats struct {
 	ReadySubSolvers   int `json:"ready_sub_solvers"`
 }
 
+// PrefetchStats is the "prefetch" block of GET /v1/stats: the serving
+// tier's speculation configuration plus demand-vs-speculation counters
+// aggregated over every materialized stream the store has held.
+// BufferedHits counts per-rank reads served straight from a buffer —
+// no solve on the request's latency path; DemandSolves and
+// PrefetchSolves split the production work between waiting consumers
+// and the background producers. Pauses/Resumes count speculative
+// producers parked when a stream's last cursor went away and woken by
+// the next one. LookaheadHighWater is the most ranks any producer has
+// run ahead of its stream's demand mark.
+type PrefetchStats struct {
+	Enabled            bool   `json:"enabled"`
+	SolveWorkers       int    `json:"solve_workers"`
+	AheadRanks         int    `json:"ahead_ranks"`
+	AheadBytes         int64  `json:"ahead_bytes"`
+	BufferedHits       uint64 `json:"buffered_hits"`
+	DemandSolves       uint64 `json:"demand_solves"`
+	PrefetchSolves     uint64 `json:"prefetch_solves"`
+	Pauses             uint64 `json:"pauses"`
+	Resumes            uint64 `json:"resumes"`
+	LookaheadHighWater int    `json:"lookahead_high_water"`
+}
+
 // StatsResponse is the body of GET /v1/stats. Solver aggregates the
 // incremental-DP reuse counters (see core.ReuseStats) over the cached
 // solvers: dirty_blocks were re-solved under Lawler–Murty constraints,
@@ -130,6 +156,7 @@ type StatsResponse struct {
 	Solver        core.ReuseStats `json:"solver"`
 	Atoms         AtomStats       `json:"atoms"`
 	Streams       StreamStats     `json:"streams"`
+	Prefetch      PrefetchStats   `json:"prefetch"`
 	Backends      BackendStats    `json:"backends"`
 }
 
