@@ -49,6 +49,7 @@ func main() {
 		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof on this side listener (e.g. localhost:6060); empty disables")
 		fullResolve   = flag.Bool("full-resolve", false, "disable the incremental DP: every branch re-solves from scratch (A/B debugging; identical output)")
 		noDecompose   = flag.Bool("no-decompose", false, "disable the clique-separator atom decomposition: always solve the whole graph monolithically (A/B debugging)")
+		noCanon       = flag.Bool("no-canon", false, "disable isomorphism-canonical cache keys: isomorphic submissions with different vertex numberings no longer share solvers/streams (A/B debugging; identical responses)")
 		backend       = flag.String("backend", "dp", "default enumeration backend: dp (ranked-exact), mis (unordered, no init cost), mis-scored (heuristic best-first) or auto (separator probe); overridable per request via ?backend=")
 		probeBudget   = flag.Int("backend-probe-budget", core.DefaultProbeBudget, "separator budget the auto backend policy probes under before falling back to mis")
 		drain         = flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
@@ -74,6 +75,7 @@ func main() {
 		PrefetchBytes:      *prefetchBytes,
 		FullResolve:        *fullResolve,
 		NoDecompose:        *noDecompose,
+		NoCanon:            *noCanon,
 		DefaultBackend:     *backend,
 		BackendProbeBudget: *probeBudget,
 	})

@@ -222,6 +222,53 @@ func IsMinimalTriangulation(h, g *graph.Graph) bool {
 	return false
 }
 
+// CanonicalCode returns the exhaustive-permutation canonical code of g:
+// the numerically smallest packing of the adjacency matrix's upper
+// triangle (pairs in lexicographic position order) over ALL orderings of
+// the active vertices. Two graphs with equal active-vertex counts have
+// equal codes iff they are isomorphic — the ground truth the polynomial
+// canonical labeling (graph.CanonicalForm) is oracle-tested against.
+// Factorial in the active count; panics beyond 11 active vertices (the
+// largest k with k(k-1)/2 ≤ 64 code bits).
+func CanonicalCode(g *graph.Graph) uint64 {
+	verts := g.Vertices().Slice()
+	k := len(verts)
+	if k > 11 {
+		panic("bruteforce: CanonicalCode needs ≤ 11 active vertices")
+	}
+	adj := make([][]bool, k)
+	for i, u := range verts {
+		adj[i] = make([]bool, k)
+		for j, v := range verts {
+			adj[i][j] = g.HasEdge(u, v)
+		}
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	best := ^uint64(0)
+	first := true
+	permute(idx, func(order []int) {
+		var code uint64
+		bit := 0
+		for a := 0; a < k; a++ {
+			ra := adj[order[a]]
+			for b := a + 1; b < k; b++ {
+				if ra[order[b]] {
+					code |= 1 << uint(bit)
+				}
+				bit++
+			}
+		}
+		if first || code < best {
+			best = code
+			first = false
+		}
+	})
+	return best
+}
+
 // permute calls fn with every permutation of vs (Heap's algorithm).
 // fn must not retain the slice.
 func permute(vs []int, fn func([]int)) {

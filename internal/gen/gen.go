@@ -241,6 +241,27 @@ func CliqueChain(rng *rand.Rand, blobs, blobSize, sepSize int, p float64) *graph
 	return g
 }
 
+// Relabel returns a copy of g with its vertices renamed by a random
+// permutation drawn from rng — one client of a templated workload. The
+// result is isomorphic to g but (almost always) fingerprints differently
+// under the label-sensitive graph.Fingerprint, which is exactly what the
+// serving tier's canonical keying is benchmarked against.
+func Relabel(rng *rand.Rand, g *graph.Graph) *graph.Graph {
+	return g.Relabel(rng.Perm(g.Universe()))
+}
+
+// IsoCopies returns count independent random relabelings of template —
+// the templated workload of PR 8's canonical-caching benchmark: N clients
+// each submitting "the same" grid/chain/schema with their own private
+// vertex numbering. The template itself is not included.
+func IsoCopies(rng *rand.Rand, template *graph.Graph, count int) []*graph.Graph {
+	out := make([]*graph.Graph, count)
+	for i := range out {
+		out[i] = Relabel(rng, template)
+	}
+	return out
+}
+
 // QueryShape names a conjunctive-query join topology.
 type QueryShape int
 

@@ -2,7 +2,12 @@ package service
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -114,6 +119,74 @@ func BenchmarkSharedStreamFanout(b *testing.B) {
 		solves := solver.ReuseStats().ConstrainedSolves - before
 		b.ReportMetric(float64(solves)/float64(b.N), "solves/op")
 	})
+}
+
+// BenchmarkCanonFanout is the headline number of canonical cache keying:
+// N concurrent clients submit the SAME graph under DIFFERENT vertex
+// numberings — the workload label-sensitive keys cannot deduplicate. With
+// canonical keys all N requests collapse onto one solver and one
+// materialized stream (plus a per-client relabel on egress), so the
+// enumeration work approaches the 1× of a solo client; with -no-canon
+// every labeling builds and enumerates privately at N× cost. The whole
+// HTTP enumerate path runs, so solver init is included — canonical keys
+// dedup that too. Compare solves/op across canon, no-canon and solo.
+func BenchmarkCanonFanout(b *testing.B) {
+	const clients = 8
+	const ranks = 100
+	rng := rand.New(rand.NewSource(42))
+	copies := gen.IsoCopies(rng, gen.Cycle(9), clients) // Catalan(7) = 429 results per labeling
+
+	bodies := make([]string, clients)
+	for i, g := range copies {
+		edges, err := json.Marshal(g.Edges())
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = fmt.Sprintf(`{"n": %d, "edges": %s, "cost": "fill", "page_size": %d}`, g.Universe(), edges, ranks)
+	}
+
+	run := func(b *testing.B, nClients int, noCanon bool) {
+		b.ReportAllocs()
+		var solves uint64
+		for i := 0; i < b.N; i++ {
+			// A fresh server per iteration: every fan-out starts from a cold
+			// pool and stream store. Sequential solving and no speculation
+			// keep the work accounting deterministic.
+			srv := New(Config{NoCanon: noCanon, MaxConcurrent: clients * 2, SolveWorkers: 1, PrefetchAhead: -1})
+			var wg sync.WaitGroup
+			for c := 0; c < nClients; c++ {
+				wg.Add(1)
+				go func(body string) {
+					defer wg.Done()
+					req := httptest.NewRequest("POST", "/v1/enumerate", strings.NewReader(body))
+					rec := httptest.NewRecorder()
+					srv.ServeHTTP(rec, req)
+					if rec.Code != 200 {
+						b.Errorf("enumerate: status %d: %s", rec.Code, rec.Body.String())
+						return
+					}
+					var resp EnumerateResponse
+					if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+						b.Error(err)
+						return
+					}
+					if len(resp.Results) != ranks {
+						b.Errorf("got %d results, want %d", len(resp.Results), ranks)
+					}
+				}(bodies[c])
+			}
+			wg.Wait()
+			b.StopTimer()
+			solves += srv.Pool().ReuseStats().ConstrainedSolves
+			srv.Close()
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(solves)/float64(b.N), "solves/op")
+	}
+
+	b.Run("canon", func(b *testing.B) { run(b, clients, false) })
+	b.Run("no-canon", func(b *testing.B) { run(b, clients, true) })
+	b.Run("solo", func(b *testing.B) { run(b, 1, false) })
 }
 
 // BenchmarkPrefetchReadLatency measures what speculation buys a paced

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/hyper"
 )
 
 // Config tunes the Server. Zero values select the documented defaults.
@@ -79,6 +80,14 @@ type Config struct {
 	// initialization and per-result delay on clique-separated graphs are
 	// exponentially worse — so production deployments leave it false.
 	NoDecompose bool
+	// NoCanon disables canonical cache keying: solver-pool and
+	// stream-store keys fall back to the label-sensitive fingerprint, so
+	// isomorphic submissions with different vertex numberings build
+	// separate solvers and streams (the pre-PR-8 behavior). An escape
+	// hatch for debugging the canonical labeling or for workloads of
+	// pathological graphs where the labeling search always falls back
+	// anyway; responses are identical either way (oracle-tested).
+	NoCanon bool
 	// DefaultBackend is the enumeration backend for requests that name
 	// none: "dp" (the default — ranked-exact, cost order), "mis"
 	// (unordered CKK separator-graph enumeration, no init cost),
@@ -186,6 +195,28 @@ type Server struct {
 	start    time.Time
 	requests atomic.Uint64
 	backends backendCounters
+	canon    canonCounters
+}
+
+// canonCounters aggregates the canonical-keying funnel for /v1/stats:
+// how many enumerate requests went through canonical labeling, how many
+// arrived in a non-canonical labeling (i.e. were actually relabeled), how
+// many blew the labeling search budget and fell back to label-sensitive
+// keys, and how many relabeled requests hit a solver or stream some
+// *other* labeling built — the cache hits label-sensitive keying would
+// have missed.
+type canonCounters struct {
+	requests, relabeled, fallbacks, hits atomic.Uint64
+}
+
+func (c *canonCounters) stats(enabled bool) CanonStats {
+	return CanonStats{
+		Enabled:   enabled,
+		Requests:  c.requests.Load(),
+		Relabeled: c.relabeled.Load(),
+		Fallbacks: c.fallbacks.Load(),
+		Hits:      c.hits.Load(),
+	}
 }
 
 // backendCounters aggregates served enumerate requests per backend kind,
@@ -290,6 +321,18 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// Canonical keying (the heart of this tier's cache): relabel the graph
+	// — and every label-carrying cost parameter — into its canonical form
+	// before the cost is built and the solver key is derived, so that
+	// isomorphic submissions with different vertex numberings share one
+	// solver and one materialized stream. fromCanon is the per-request
+	// egress permutation mapping the shared stream's canonical labels back
+	// to this client's labels; nil means no relabeling is needed.
+	clientG := g
+	var fromCanon []int
+	if !s.cfg.NoCanon {
+		g, h, fromCanon = s.canonicalize(&req, g, h)
+	}
 	c, costKey, err := buildCost(&req, g, h)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -392,13 +435,19 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.backends.count(kind, autoRouted)
 	key := SolverKey{Fingerprint: g.Fingerprint(), Cost: costKey, Bound: bound, Backend: string(kind)}
+	// A canonical hit is a relabeled request served by a solver or
+	// materialized stream that some *other* labeling built — counted
+	// before this request acquires the stream itself.
+	if fromCanon != nil && (hit || s.streams.Contains(key)) {
+		s.canon.hits.Add(1)
+	}
 
 	if req.Stream {
-		s.streamResults(w, r, g, backend, key, req.MaxResults)
+		s.streamResults(w, r, clientG, backend, key, fromCanon, req.MaxResults)
 		return
 	}
 
-	sess, err := s.sessions.Create(backend, key)
+	sess, err := s.sessions.Create(backend, key, clientG, fromCanon)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -420,8 +469,8 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		Cost:     c.Name(),
 		Backend:  string(kind),
 		Ranked:   backend.Ranked(),
-		Graph:    &GraphInfo{N: g.Universe(), M: g.NumEdges(), Fingerprint: key.Fingerprint},
-		Results:  pageJSON(g, 0, results),
+		Graph:    &GraphInfo{N: clientG.Universe(), M: clientG.NumEdges(), Fingerprint: key.Fingerprint},
+		Results:  pageJSON(clientG, 0, sess.egress(results)),
 	}
 	if solver, isDP := backend.(*core.Solver); isDP {
 		resp.Solver = solverInfo(solver)
@@ -430,6 +479,56 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		resp.Session = sess.Token
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// canonicalize relabels the request's graph into canonical form (see
+// graph.CanonicalForm) along with every label-carrying cost parameter —
+// hyperedges and per-vertex domains — so that buildCost and the solver
+// key downstream see only canonical labels. It returns the graph and
+// hypergraph to use plus the canonical→client permutation for egress
+// relabeling; a nil permutation means the results need no relabeling
+// (the client already submitted canonical labels, or the labeling search
+// blew its budget and the key stays label-sensitive — correct, merely
+// missing cross-labeling dedup).
+func (s *Server) canonicalize(req *EnumerateRequest, g *graph.Graph, h *hyper.Hypergraph) (*graph.Graph, *hyper.Hypergraph, []int) {
+	s.canon.requests.Add(1)
+	canonG, perm, exact := g.CanonicalForm()
+	if !exact {
+		s.canon.fallbacks.Add(1)
+		return g, h, nil
+	}
+	identity := true
+	for v, p := range perm {
+		if v != p {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		return g, h, nil
+	}
+	s.canon.relabeled.Add(1)
+	if h != nil {
+		nh := hyper.New(h.NumVertices())
+		for _, e := range h.Edges() {
+			nh.AddEdgeSet(e.Relabel(perm))
+		}
+		h = nh
+	}
+	// Domains are per-vertex parameters, so they must follow the vertices;
+	// a wrong-length slice is left alone for buildCost to reject.
+	if len(req.Domains) == g.Universe() {
+		doms := make([]int, len(req.Domains))
+		for v, d := range req.Domains {
+			doms[perm[v]] = d
+		}
+		req.Domains = doms
+	}
+	fromCanon := make([]int, len(perm))
+	for v, p := range perm {
+		fromCanon[p] = v
+	}
+	return canonG, h, fromCanon
 }
 
 // streamWriteTimeout bounds each NDJSON line write. The stream holds an
@@ -446,7 +545,9 @@ const streamWriteTimeout = 30 * time.Second
 // stream the paging sessions read: concurrent NDJSON streams and sessions
 // on one (graph, cost, bound, backend) key split a single enumeration
 // between them instead of each running their own.
-func (s *Server) streamResults(w http.ResponseWriter, r *http.Request, g *graph.Graph, backend core.Backend, key SolverKey, max int) {
+// Results are stored canonically; fromCanon (when non-nil) relabels each
+// line back into the client's labeling on the way out.
+func (s *Server) streamResults(w http.ResponseWriter, r *http.Request, g *graph.Graph, backend core.Backend, key SolverKey, fromCanon []int, max int) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	rc := http.NewResponseController(w)
@@ -461,6 +562,9 @@ func (s *Server) streamResults(w http.ResponseWriter, r *http.Request, g *graph.
 		res, ok, err := h.At(ctx, count)
 		if err != nil || !ok {
 			break
+		}
+		if fromCanon != nil {
+			res = core.RelabelResult(res, fromCanon)
 		}
 		rc.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
 		if enc.Encode(resultJSON(g, count, res)) != nil {
@@ -539,7 +643,7 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if len(results) > 0 {
-			resp := &EnumerateResponse{Done: done, Results: pageJSON(sess.graphOf(), start, results)}
+			resp := &EnumerateResponse{Done: done, Results: pageJSON(sess.graphOf(), start, sess.egress(results))}
 			if !done {
 				resp.Session = sess.Token
 			}
@@ -564,7 +668,7 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 	if done {
 		s.sessions.Remove(sess.Token)
 	}
-	resp := &EnumerateResponse{Done: done, Results: pageJSON(sess.graphOf(), start, results)}
+	resp := &EnumerateResponse{Done: done, Results: pageJSON(sess.graphOf(), start, sess.egress(results))}
 	if !done {
 		resp.Session = sess.Token
 	}
@@ -599,6 +703,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Streams:       s.streams.Stats(),
 		Prefetch:      s.prefetchStats(),
 		Backends:      s.backends.stats(),
+		Canon:         s.canon.stats(!s.cfg.NoCanon),
 	})
 }
 

@@ -497,7 +497,7 @@ func TestNextPageRedelivery(t *testing.T) {
 	m := NewSessionManager(4, time.Minute, nil)
 	defer m.Close()
 	solver := core.NewSolver(gen.Cycle(5), cost.Width{})
-	sess, err := m.Create(solver, SolverKey{})
+	sess, err := m.Create(solver, SolverKey{}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -520,7 +520,7 @@ func TestNextPageAfterEviction(t *testing.T) {
 	m := NewSessionManager(4, time.Minute, nil)
 	defer m.Close()
 	solver := core.NewSolver(gen.Cycle(5), cost.Width{})
-	sess, err := m.Create(solver, SolverKey{})
+	sess, err := m.Create(solver, SolverKey{}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -535,8 +535,32 @@ func TestCreateAfterClose(t *testing.T) {
 	m := NewSessionManager(4, time.Minute, nil)
 	m.Close()
 	solver := core.NewSolver(gen.Cycle(4), cost.Width{})
-	if _, err := m.Create(solver, SolverKey{}); !errors.Is(err, ErrShuttingDown) {
+	if _, err := m.Create(solver, SolverKey{}, nil, nil); !errors.Is(err, ErrShuttingDown) {
 		t.Fatalf("want ErrShuttingDown, got %v", err)
+	}
+}
+
+// TestReplayAnchorOnError: Replay's error returns must carry the
+// requested anchor rank, not the zero value of the named return — an
+// error response claiming the replay was anchored at rank 0 would send a
+// recovering client back to re-fetch pages it already has.
+func TestReplayAnchorOnError(t *testing.T) {
+	m := NewSessionManager(4, time.Minute, nil)
+	solver := core.NewSolver(gen.Cycle(6), cost.Width{})
+	sess, err := m.Create(solver, SolverKey{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := sess.NextPage(context.Background(), 5); err != nil {
+		t.Fatal(err)
+	}
+	m.Close() // cancels the session's context under the live cursor
+	start, results, _, ok, rerr := sess.Replay(context.Background(), 3, 2)
+	if !ok || !errors.Is(rerr, ErrSessionNotFound) {
+		t.Fatalf("replay on a dead session: ok=%v err=%v", ok, rerr)
+	}
+	if start != 3 || results != nil {
+		t.Fatalf("error replay must echo the anchor rank 3 without results, got start=%d results=%v", start, results)
 	}
 }
 

@@ -37,19 +37,46 @@ type Session struct {
 	Token string
 	Key   SolverKey
 
-	g      *graph.Graph
-	mu     sync.Mutex
-	stream *StreamHandle
-	ctx    context.Context // the session's context; done = evicted/shutdown
-	cancel context.CancelFunc
-	closer sync.Once
-	last   time.Time
-	pos    int // ranks [0, pos) have been committed to the client
-	done   bool
+	g *graph.Graph
+	// fromCanon maps the stream's (canonical) labels back to the client's
+	// labels; nil when the client submitted in canonical labels already or
+	// canonical keying is off. Results are stored canonically — one shared
+	// buffer serves every isomorphic client — and relabeled per cursor on
+	// egress (see Server.handleEnumerate).
+	fromCanon []int
+	mu        sync.Mutex
+	stream    *StreamHandle
+	ctx       context.Context // the session's context; done = evicted/shutdown
+	cancel    context.CancelFunc
+	closer    sync.Once
+	last      time.Time
+	pos       int // ranks [0, pos) have been committed to the client
+	done      bool
 }
 
-// graphOf returns the graph the session enumerates (for wire conversion).
+// graphOf returns the client-labeled graph the session enumerates (for
+// wire conversion).
 func (s *Session) graphOf() *graph.Graph { return s.g }
+
+// egress relabels a batch of stream results from the canonical labeling
+// into this session's client labeling. The identity case returns the
+// shared Results unchanged (they are read-only by contract).
+func (s *Session) egress(results []*core.Result) []*core.Result {
+	return relabelResults(results, s.fromCanon)
+}
+
+// relabelResults maps results through fromCanon, or passes them through
+// untouched when fromCanon is nil.
+func relabelResults(results []*core.Result, fromCanon []int) []*core.Result {
+	if fromCanon == nil || len(results) == 0 {
+		return results
+	}
+	out := make([]*core.Result, len(results))
+	for i, r := range results {
+		out[i] = core.RelabelResult(r, fromCanon)
+	}
+	return out
+}
 
 // close cancels the session's context and releases its stream reference.
 func (s *Session) close() {
@@ -115,16 +142,24 @@ func NewSessionManager(max int, idle time.Duration, store *StreamStore) *Session
 
 // Create registers a new cursor over the shared stream for key, served by
 // backend on a stream-cache miss. No enumeration work happens here — the
-// first NextPage drives (or merely reads) the shared buffer.
-func (m *SessionManager) Create(backend core.Backend, key SolverKey) (*Session, error) {
+// first NextPage drives (or merely reads) the shared buffer. clientG is
+// the graph in the client's own labeling (nil defaults to the backend's
+// graph) and fromCanon, when non-nil, maps the backend's canonical labels
+// back to the client's — the per-cursor egress permutation of canonical
+// cache keying.
+func (m *SessionManager) Create(backend core.Backend, key SolverKey, clientG *graph.Graph, fromCanon []int) (*Session, error) {
+	if clientG == nil {
+		clientG = backend.Graph()
+	}
 	ctx, cancel := context.WithCancel(m.base)
 	s := &Session{
-		Key:    key,
-		g:      backend.Graph(),
-		stream: m.store.Acquire(key, backend),
-		ctx:    ctx,
-		cancel: cancel,
-		last:   time.Now(),
+		Key:       key,
+		g:         clientG,
+		fromCanon: fromCanon,
+		stream:    m.store.Acquire(key, backend),
+		ctx:       ctx,
+		cancel:    cancel,
+		last:      time.Now(),
 	}
 	m.mu.Lock()
 	if m.closed || len(m.sessions) >= m.max {
@@ -311,17 +346,20 @@ func (s *Session) Replay(ctx context.Context, from, n int) (start int, results [
 		end = s.pos
 	}
 	for i := from; i < end; i++ {
+		// Error returns carry from, not the zero-valued named return: an
+		// error response's page start must still say where the replay was
+		// anchored.
 		if s.ctx.Err() != nil {
-			return start, nil, false, true, ErrSessionNotFound
+			return from, nil, false, true, ErrSessionNotFound
 		}
 		r, rok, aerr := s.stream.At(ctx, i)
 		if aerr != nil {
-			return start, nil, false, true, aerr
+			return from, nil, false, true, aerr
 		}
 		if !rok {
 			// Impossible for ranks below the cursor: the stream replays
 			// deterministically, so a committed rank always rematerializes.
-			return start, nil, false, true, errors.New("service: committed rank vanished from the stream")
+			return from, nil, false, true, errors.New("service: committed rank vanished from the stream")
 		}
 		results = append(results, r)
 	}

@@ -39,7 +39,9 @@ type StreamStats struct {
 	Misses uint64 `json:"misses"`
 	// Evictions counts streams whose buffers were dropped by the byte
 	// budget; Rebuilds counts evicted streams that were re-materialized
-	// because a cursor still needed their ranks.
+	// because a cursor still needed their ranks. Both are monotone:
+	// rebuild counts of entries that have since been dropped are folded
+	// into a retired aggregate rather than vanishing with the entry.
 	Evictions uint64 `json:"evictions"`
 	Rebuilds  uint64 `json:"rebuilds"`
 }
@@ -81,6 +83,13 @@ type StreamStore struct {
 	// Pause/resume bookkeeping for streams that no longer exist survives
 	// here; live-stream counters are aggregated from the entries.
 	pfRetired core.PrefetchStats
+	// rbRetired folds dropped entries' rebuild counts the same way, so
+	// the /v1/stats rebuilds counter is monotone across entry churn.
+	rbRetired uint64
+	// closed marks the store shut down: streams created afterwards stay
+	// demand-driven and parked producers are never resumed, so no
+	// speculative goroutine can outlive Close.
+	closed bool
 }
 
 // NewStreamStore returns a store evicting buffers beyond budgetBytes
@@ -130,6 +139,7 @@ func (st *StreamStore) dropEntryLocked(e *streamEntry) {
 	e.elem = nil
 	delete(st.entries, e.key)
 	st.pfRetired = sumPrefetchStats(st.pfRetired, e.stream.PrefetchStats())
+	st.rbRetired += e.stream.Rebuilds()
 	e.stream.StopPrefetch()
 }
 
@@ -160,12 +170,17 @@ func (st *StreamStore) PrefetchStats() core.PrefetchStats {
 	return out
 }
 
-// Close terminates every stream's speculative producer. Buffers and
-// cursors stay readable (demand-driven); for server shutdown, where
-// parked prefetch goroutines should not outlive the service.
+// Close terminates every stream's speculative producer and marks the
+// store closed. Buffers and cursors stay readable (demand-driven); for
+// server shutdown, where parked prefetch goroutines should not outlive
+// the service. Acquire keeps working after Close — late requests during
+// the HTTP drain window still need their streams — but the entries it
+// creates are never configured for speculation and parked producers are
+// never resumed, so shutdown cannot be undone by a straggler.
 func (st *StreamStore) Close() {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	st.closed = true
 	for _, e := range st.entries {
 		e.stream.StopPrefetch()
 	}
@@ -208,7 +223,9 @@ func (st *StreamStore) Acquire(key SolverKey, backend core.Backend) *StreamHandl
 			}),
 			handles: make(map[*StreamHandle]struct{}),
 		}
-		e.stream.ConfigurePrefetch(st.prefetchAhead, st.prefetchBytes)
+		if !st.closed {
+			e.stream.ConfigurePrefetch(st.prefetchAhead, st.prefetchBytes)
+		}
 		st.entries[key] = e
 		e.elem = st.lru.PushFront(e)
 		// Enforce the entry cap on the cold end: only unreferenced entries
@@ -226,9 +243,11 @@ func (st *StreamStore) Acquire(key SolverKey, backend core.Backend) *StreamHandl
 		}
 	}
 	e.refs++
-	if e.refs == 1 {
+	if e.refs == 1 && !st.closed {
 		// First consumer (back): un-park the speculative producer. A no-op
-		// on fresh streams, which start unpaused.
+		// on fresh streams, which start unpaused. After Close the resume is
+		// skipped — shutdown just stopped these producers, and a post-Close
+		// acquire must stay demand-driven.
 		e.stream.ResumePrefetch()
 	}
 	st.lru.MoveToFront(e.elem)
@@ -372,6 +391,7 @@ func (st *StreamStore) Stats() StreamStats {
 		Misses:      st.misses,
 		Evictions:   st.evictions,
 	}
+	out.Rebuilds = st.rbRetired
 	for _, e := range st.entries {
 		out.Cursors += e.refs
 		out.BufferedResults += e.stream.Buffered()
@@ -385,4 +405,14 @@ func (st *StreamStore) Len() int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return len(st.entries)
+}
+
+// Contains reports whether a materialized stream for key is currently
+// held — a pre-Acquire peek the server uses to attribute canonical-keying
+// cache hits (racy by nature, which is fine for a counter).
+func (st *StreamStore) Contains(key SolverKey) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	_, ok := st.entries[key]
+	return ok
 }

@@ -262,11 +262,11 @@ func TestSessionInfoBufferedAhead(t *testing.T) {
 	defer m.Close()
 	solver := core.NewSolver(gen.Cycle(7), cost.Width{})
 	key := SolverKey{Fingerprint: "c7"}
-	warm, err := m.Create(solver, key)
+	warm, err := m.Create(solver, key, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cold, err := m.Create(solver, key)
+	cold, err := m.Create(solver, key, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +299,7 @@ func TestReplayAcrossPagesAndEviction(t *testing.T) {
 	store := NewStreamStore(0, 0)
 	m := NewSessionManager(4, time.Minute, store)
 	defer m.Close()
-	sess, err := m.Create(solver, key)
+	sess, err := m.Create(solver, key, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,9 +373,13 @@ func TestSharedStreamFanoutOracle(t *testing.T) {
 	}
 
 	// A budget of ~25 results over a 132-result stream forces repeated
-	// eviction/rebuild while the fan-out is mid-flight.
+	// eviction/rebuild while the fan-out is mid-flight. NoCanon pins the
+	// pre-canonicalization path: this oracle demands the byte-identical
+	// rank order of a solo solve on the submitted labeling, and canonical
+	// keying enumerates a relabeling, which may permute equal-cost ties
+	// (the canonical path has its own tie-aware oracle in canon tests).
 	budget := 25 * oracleSolver.TopK(1)[0].SizeEstimate()
-	_, ts := newTestServer(t, Config{StreamBudgetBytes: budget, MaxConcurrent: 16, MaxSessions: 64})
+	_, ts := newTestServer(t, Config{StreamBudgetBytes: budget, MaxConcurrent: 16, MaxSessions: 64, NoCanon: true})
 	g6 := cycleGraph6(t, 8)
 
 	const pagers, streamers = 8, 4
@@ -469,7 +473,11 @@ func pageAll(ts *httptest.Server, g6 string, pageSize int) ([]string, error) {
 
 // streamAll reads one NDJSON stream to its summary line.
 func streamAll(ts *httptest.Server, g6 string) ([]string, error) {
-	body := fmt.Sprintf(`{"graph6": %q, "cost": "fill", "stream": true}`, g6)
+	return streamAllBody(ts, fmt.Sprintf(`{"graph6": %q, "cost": "fill", "stream": true}`, g6))
+}
+
+// streamAllBody is streamAll over a raw request body.
+func streamAllBody(ts *httptest.Server, body string) ([]string, error) {
 	resp, err := http.Post(ts.URL+"/v1/enumerate", "application/json", strings.NewReader(body))
 	if err != nil {
 		return nil, err
@@ -754,5 +762,83 @@ func TestStatsStreamCounters(t *testing.T) {
 	}
 	if stats.Streams.BudgetBytes != defaultStreamBudget {
 		t.Fatalf("default budget not reported: %+v", stats.Streams)
+	}
+}
+
+// TestStreamStatsRebuildsMonotoneAcrossDrop: the /v1/stats rebuilds
+// counter is monotone. Rebuild counts live on the stream entries, so
+// dropping an entry (entry-cap churn, release of an empty stream) used to
+// subtract its rebuilds from the next snapshot — a monotone wire counter
+// that went backwards. Dropped entries' counts must fold into the retired
+// aggregate, exactly like the prefetch counters.
+func TestStreamStatsRebuildsMonotoneAcrossDrop(t *testing.T) {
+	ctx := context.Background()
+	store := NewStreamStore(0, 1)
+	solver := core.NewSolver(gen.Cycle(6), cost.Width{})
+	keyA := SolverKey{Fingerprint: "a"}
+
+	h := store.Acquire(keyA, solver)
+	for i := 0; i < 5; i++ {
+		if _, ok, err := h.At(ctx, i); !ok || err != nil {
+			t.Fatalf("rank %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	// Force a rebuild: reset the buffer behind the cursor's back (what a
+	// budget eviction does) and re-demand a committed rank.
+	store.mu.Lock()
+	store.entries[keyA].stream.Reset()
+	store.mu.Unlock()
+	if _, ok, err := h.At(ctx, 0); !ok || err != nil {
+		t.Fatalf("re-demand after reset: ok=%v err=%v", ok, err)
+	}
+	before := store.Stats().Rebuilds
+	if before == 0 {
+		t.Fatal("rebuild not counted")
+	}
+	h.Release()
+
+	// Acquiring a second key over the cap drops A's (unreferenced) entry.
+	h2 := store.Acquire(SolverKey{Fingerprint: "b"}, core.NewSolver(gen.Cycle(5), cost.Width{}))
+	defer h2.Release()
+	if _, ok, err := h2.At(ctx, 0); !ok || err != nil {
+		t.Fatalf("second stream: ok=%v err=%v", ok, err)
+	}
+	if store.Contains(keyA) {
+		t.Fatal("entry cap did not drop the unreferenced entry; the test exercises nothing")
+	}
+	if after := store.Stats().Rebuilds; after < before {
+		t.Fatalf("rebuilds went backwards across an entry drop: %d -> %d", before, after)
+	}
+}
+
+// TestStreamStoreClosePostAcquireDemandDriven: Close stops speculation
+// for good. An Acquire after Close (the HTTP drain window) must create
+// demand-driven streams — no speculative producer may be configured for
+// them, and the refs 0→1 resume path must stay parked — or shutdown
+// leaks enumeration goroutines that race the exiting process. Run with
+// -race in CI.
+func TestStreamStoreClosePostAcquireDemandDriven(t *testing.T) {
+	ctx := context.Background()
+	store := NewStreamStore(0, 0)
+	store.Tune(1, 64, 0) // speculation on for streams created from now on
+	store.Close()
+
+	solver := core.NewSolver(gen.Cycle(8), cost.FillIn{})
+	key := SolverKey{Fingerprint: "post-close"}
+	h := store.Acquire(key, solver)
+	if _, ok, err := h.At(ctx, 0); !ok || err != nil {
+		t.Fatalf("post-Close read must stay demand-driven and work: ok=%v err=%v", ok, err)
+	}
+	// The refs 0→1 transition is the resume path; exercise it post-Close.
+	h.Release()
+	h2 := store.Acquire(key, solver)
+	defer h2.Release()
+	if _, ok, err := h2.At(ctx, 1); !ok || err != nil {
+		t.Fatalf("post-Close reacquire: ok=%v err=%v", ok, err)
+	}
+	// Give a leaked producer time to do visible work, then assert none did.
+	time.Sleep(50 * time.Millisecond)
+	if pf := store.PrefetchStats(); pf.PrefetchSolves != 0 || pf.Resumes != 0 {
+		t.Fatalf("speculative producer ran after Close: %+v", pf)
 	}
 }

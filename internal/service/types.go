@@ -158,6 +158,25 @@ type StatsResponse struct {
 	Streams       StreamStats     `json:"streams"`
 	Prefetch      PrefetchStats   `json:"prefetch"`
 	Backends      BackendStats    `json:"backends"`
+	Canon         CanonStats      `json:"canon"`
+}
+
+// CanonStats is the "canon" block of GET /v1/stats: the canonical
+// cache-keying funnel. Requests counts enumerate requests that went
+// through the canonical labeling; Relabeled is how many of those arrived
+// in a non-canonical labeling (i.e. an actual relabeling happened on
+// ingress and an inverse one happens on every egress); Fallbacks is how
+// many exhausted the labeling search budget and kept label-sensitive keys
+// (correct, merely undeduplicated); Hits is how many relabeled requests
+// were served by a solver or materialized stream that a *different*
+// labeling of the same graph built — exactly the cache hits that
+// label-sensitive keying would have missed.
+type CanonStats struct {
+	Enabled   bool   `json:"enabled"`
+	Requests  uint64 `json:"requests"`
+	Relabeled uint64 `json:"relabeled"`
+	Fallbacks uint64 `json:"fallbacks"`
+	Hits      uint64 `json:"hits"`
 }
 
 // BackendStats counts enumerate requests served per backend kind.

@@ -278,6 +278,19 @@ func (s Set) Slice() []int {
 	return out
 }
 
+// Relabel returns the set {perm[v] : v ∈ s} over the same universe. perm
+// must map every member to a label within the universe (graph.Relabel
+// validates bijectivity for whole-graph relabelings; here only the
+// members' images are touched).
+func (s Set) Relabel(perm []int) Set {
+	out := New(s.n)
+	s.ForEach(func(v int) bool {
+		out.AddInPlace(perm[v])
+		return true
+	})
+	return out
+}
+
 // Words exposes the little-endian bitset words backing s, least
 // significant vertex first. The caller must not mutate the slice; it is
 // the zero-copy input to hashing (graph.Fingerprint).
