@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +33,7 @@ func main() {
 		k       = flag.Int("k", 10, "number of results (0 = all)")
 		bound   = flag.Int("bound", -1, "width bound (-1 = unbounded)")
 		proper  = flag.Bool("proper", false, "enumerate proper tree decompositions instead of triangulations")
+		orbits  = flag.Bool("orbits", false, "emit one representative per automorphism orbit, with its orbit_size")
 		stats   = flag.Bool("stats", false, "print initialization statistics")
 	)
 	flag.Parse()
@@ -64,21 +66,36 @@ func main() {
 	}
 
 	if *proper {
+		if *orbits {
+			fatal(fmt.Errorf("-orbits applies to triangulation enumeration, not -proper"))
+		}
 		enumerateProper(solver, g, *k)
 		return
 	}
-	enumerateTriangulations(solver, g, *k)
+	enumerateTriangulations(solver, g, *k, *orbits)
 }
 
-func enumerateTriangulations(solver *core.Solver, g *graph.Graph, k int) {
-	e := solver.Enumerate()
+func enumerateTriangulations(solver *core.Solver, g *graph.Graph, k int, orbits bool) {
+	var e *core.Enumerator
+	if orbits {
+		// Every cost this command offers is label-invariant (statespace
+		// runs with default uniform domains), so the orbit collapse is
+		// always sound here.
+		e = core.NewOrbitBackend(solver, nil).EnumerateContext(context.Background())
+	} else {
+		e = solver.Enumerate()
+	}
 	for i := 1; k == 0 || i <= k; i++ {
 		r, ok := e.Next()
 		if !ok {
 			break
 		}
-		fmt.Printf("#%d cost=%g width=%d fill=%d bags=%d seps=%d\n",
+		line := fmt.Sprintf("#%d cost=%g width=%d fill=%d bags=%d seps=%d",
 			i, r.Cost, r.Tree.Width(), r.H.NumEdges()-g.NumEdges(), len(r.Bags), len(r.Seps))
+		if orbits {
+			line += fmt.Sprintf(" orbit_size=%d", r.OrbitSize)
+		}
+		fmt.Println(line)
 		for _, b := range r.Bags {
 			fmt.Printf("   bag %s\n", nameSet(g, b))
 		}

@@ -52,6 +52,7 @@ func main() {
 		noCanon       = flag.Bool("no-canon", false, "disable isomorphism-canonical cache keys: isomorphic submissions with different vertex numberings no longer share solvers/streams (A/B debugging; identical responses)")
 		backend       = flag.String("backend", "dp", "default enumeration backend: dp (ranked-exact), mis (unordered, no init cost), mis-scored (heuristic best-first) or auto (separator probe); overridable per request via ?backend=")
 		probeBudget   = flag.Int("backend-probe-budget", core.DefaultProbeBudget, "separator budget the auto backend policy probes under before falling back to mis")
+		orbits        = flag.Bool("orbits", false, "orbit-reduced enumeration by default: one representative per automorphism orbit, stamped with orbit_size; overridable per request via ?orbits=")
 		drain         = flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
 	)
 	flag.Parse()
@@ -78,6 +79,7 @@ func main() {
 		NoCanon:            *noCanon,
 		DefaultBackend:     *backend,
 		BackendProbeBudget: *probeBudget,
+		DefaultOrbits:      *orbits,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -296,3 +296,43 @@ func permute(vs []int, fn func([]int)) {
 		}
 	}
 }
+
+// Automorphisms enumerates every automorphism of g by checking all
+// permutations of the active vertices against the adjacency relation.
+// Permutations are returned over the full universe, fixing inactive
+// vertices. Factorial in |V|; intended for graphs with at most ~8 active
+// vertices. This is the ground truth for graph.Automorphisms.
+func Automorphisms(g *graph.Graph) [][]int {
+	verts := g.Vertices().Slice()
+	k := len(verts)
+	adj := make([][]bool, k)
+	for i, u := range verts {
+		adj[i] = make([]bool, k)
+		for j, v := range verts {
+			adj[i][j] = g.HasEdge(u, v)
+		}
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	var out [][]int
+	permute(idx, func(order []int) {
+		for a := 0; a < k; a++ {
+			for b := a + 1; b < k; b++ {
+				if adj[a][b] != adj[order[a]][order[b]] {
+					return
+				}
+			}
+		}
+		p := make([]int, g.Universe())
+		for v := range p {
+			p[v] = v
+		}
+		for i, j := range order {
+			p[verts[i]] = verts[j]
+		}
+		out = append(out, p)
+	})
+	return out
+}

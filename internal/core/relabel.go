@@ -20,7 +20,7 @@ import (
 // solver-internal separator IDs are deliberately dropped (they are
 // meaningless outside the solver that interned them).
 func RelabelResult(r *Result, perm []int) *Result {
-	out := &Result{Cost: r.Cost}
+	out := &Result{Cost: r.Cost, OrbitSize: r.OrbitSize}
 	if r.H != nil {
 		out.H = r.H.Relabel(perm)
 	}

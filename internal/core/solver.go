@@ -35,6 +35,13 @@ type Result struct {
 	Seps []vset.Set
 	Cost float64
 
+	// OrbitSize is the number of label-equivalent triangulations this
+	// result stands for under Aut(G) — set (≥ 1) only by orbit-reduced
+	// enumeration (see NewOrbitBackend), 0 on unreduced streams. Summing
+	// it over an orbit-reduced stream reconstructs the unreduced stream
+	// length.
+	OrbitSize int64
+
 	// sepIDs are the solver-interned IDs of Seps (aligned), letting the
 	// enumerator branch on separator identity without hashing set keys.
 	sepIDs []int

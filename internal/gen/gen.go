@@ -75,6 +75,30 @@ func Cycle(n int) *graph.Graph {
 	return g
 }
 
+// CirculantGraph returns the circulant graph C_n(jumps): vertices 0..n-1
+// with i adjacent to i±j (mod n) for every jump j. Jumps are taken modulo
+// n; jump 0 and (for even n) the self-paired jump n/2 are handled, and
+// duplicate jumps collapse. Circulants are the tunable-symmetry benchmark
+// family for orbit-reduced enumeration: every circulant is
+// vertex-transitive with the rotations and the reflection giving
+// |Aut| ≥ 2n (the dihedral group D_n acts for any jump set; generic jump
+// sets achieve exactly 2n, while special ones — e.g. C_n(1..⌊n/2⌋) = K_n,
+// or jump sets fixed by a multiplier m with m·J = ±J (mod n) — have
+// strictly larger groups).
+func CirculantGraph(n int, jumps []int) *graph.Graph {
+	g := graph.New(n)
+	for _, j := range jumps {
+		j = ((j % n) + n) % n
+		if j == 0 {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			g.AddEdge(i, (i+j)%n)
+		}
+	}
+	return g
+}
+
 // Path returns the path on n vertices.
 func Path(n int) *graph.Graph {
 	g := graph.New(n)

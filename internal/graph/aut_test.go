@@ -1,0 +1,289 @@
+package graph_test
+
+// External test package, like canon_test.go: the oracle needs
+// internal/bruteforce and internal/gen, both of which import
+// internal/graph.
+
+import (
+	"fmt"
+	"math/big"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// checkAutOracle compares graph.Automorphisms against the brute-force
+// permutation sweep: exact search, exact group order, identical vertex
+// orbits, and every reported generator a genuine automorphism.
+func checkAutOracle(t *testing.T, g *graph.Graph, label string) {
+	t.Helper()
+	aut := g.Automorphisms()
+	if !aut.Exact() {
+		t.Fatalf("%s: automorphism search fell back (budget exhausted on a tiny graph)", label)
+	}
+	all := bruteforce.Automorphisms(g)
+	if want := big.NewInt(int64(len(all))); aut.Order().Cmp(want) != 0 {
+		t.Fatalf("%s: group order %v, brute force found %d automorphisms", label, aut.Order(), len(all))
+	}
+	// Vertex orbits: the brute-force orbit of v is the set of images of v
+	// over all automorphisms.
+	n := g.Universe()
+	for v := 0; v < n; v++ {
+		for _, p := range all {
+			if aut.OrbitRep(p[v]) != aut.OrbitRep(v) {
+				t.Fatalf("%s: brute force maps %d to %d but OrbitRep splits them (%d vs %d)",
+					label, v, p[v], aut.OrbitRep(v), aut.OrbitRep(p[v]))
+			}
+		}
+	}
+	// The union-find orbits must not be coarser than the true orbits
+	// either: rebuild the true orbit partition from the full permutation
+	// list and compare SameOrbit pairwise.
+	parent := make([]int, n)
+	for v := range parent {
+		parent[v] = v
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, p := range all {
+		for v, pv := range p {
+			if ra, rb := find(v), find(pv); ra != rb {
+				parent[ra] = rb
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if (find(u) == find(v)) != aut.SameOrbit(u, v) {
+				t.Fatalf("%s: SameOrbit(%d,%d)=%v disagrees with brute force", label, u, v, aut.SameOrbit(u, v))
+			}
+		}
+	}
+	for gi, p := range aut.Generators() {
+		checkIsAutomorphism(t, g, p, fmt.Sprintf("%s generator %d", label, gi))
+	}
+}
+
+func checkIsAutomorphism(t *testing.T, g *graph.Graph, p []int, label string) {
+	t.Helper()
+	n := g.Universe()
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if g.HasEdge(u, v) != g.HasEdge(p[u], p[v]) {
+				t.Fatalf("%s: not an automorphism (edge %d-%d vs %d-%d)", label, u, v, p[u], p[v])
+			}
+		}
+	}
+	if g.Vertices().Relabel(p).Equal(g.Vertices()) == false {
+		t.Fatalf("%s: permutation does not preserve the active set", label)
+	}
+}
+
+// TestAutomorphismsOracleAllSmallGraphs proves graph.Automorphisms
+// exhaustively: on EVERY graph with up to 6 vertices, the search's
+// discovered generators generate exactly the brute-force automorphism
+// group — same order, same vertex orbits. This is the guarantee the
+// orbit-reduced enumeration mode rests on (core's orbit sizes come from
+// the group order via orbit-stabilizer).
+func TestAutomorphismsOracleAllSmallGraphs(t *testing.T) {
+	maxN := 6
+	if testing.Short() {
+		maxN = 5
+	}
+	for n := 1; n <= maxN; n++ {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			t.Parallel()
+			pairs := n * (n - 1) / 2
+			total := 1 << pairs
+			workers := runtime.GOMAXPROCS(0)
+			if workers > total {
+				workers = total
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for mask := w; mask < total; mask += workers {
+						if t.Failed() {
+							return
+						}
+						checkAutOracle(t, maskGraph(n, mask), fmt.Sprintf("n=%d mask=%d", n, mask))
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// TestAutomorphismsKnownGroups pins the group order on families where it
+// is known in closed form: Aut(K_n) = S_n, Aut(C_n) = D_n (order 2n),
+// Aut(P_n) = Z_2, Aut(Petersen) = S_5 (order 120), Aut(3×3 grid) = D_4.
+func TestAutomorphismsKnownGroups(t *testing.T) {
+	petersen, err := gen.Named("petersen")
+	if err != nil {
+		t.Fatalf("petersen: %v", err)
+	}
+	cases := []struct {
+		name  string
+		g     *graph.Graph
+		order int64
+	}{
+		{"K5", gen.Complete(5), 120},
+		{"K7", gen.Complete(7), 5040},
+		{"C6", gen.Cycle(6), 12},
+		{"C12", gen.Cycle(12), 24},
+		{"P5", gen.Path(5), 2},
+		{"Grid3x3", gen.Grid(3, 3), 8},
+		{"Grid2x4", gen.Grid(2, 4), 4},
+		{"Petersen", petersen, 120},
+	}
+	for _, tc := range cases {
+		aut := tc.g.Automorphisms()
+		if !aut.Exact() {
+			t.Errorf("%s: search fell back", tc.name)
+			continue
+		}
+		if aut.Order().Cmp(big.NewInt(tc.order)) != 0 {
+			t.Errorf("%s: group order %v, want %d", tc.name, aut.Order(), tc.order)
+		}
+	}
+}
+
+// TestAutomorphismsInactiveVertices checks that generators fix inactive
+// vertices and orbits never cross the active boundary.
+func TestAutomorphismsInactiveVertices(t *testing.T) {
+	g := gen.Cycle(8)
+	sub := g.InducedSubgraph(g.Vertices().Remove(7))
+	aut := sub.Automorphisms()
+	// C8 minus a vertex is P7: Aut = Z_2.
+	if aut.Order().Cmp(big.NewInt(2)) != 0 {
+		t.Fatalf("P7 group order %v, want 2", aut.Order())
+	}
+	for _, p := range aut.Generators() {
+		if p[7] != 7 {
+			t.Fatalf("generator moves inactive vertex 7 to %d", p[7])
+		}
+	}
+	for v := 0; v < 7; v++ {
+		if aut.SameOrbit(v, 7) {
+			t.Fatalf("orbit of active vertex %d crosses to inactive 7", v)
+		}
+	}
+}
+
+// TestCanonicalFormAutBudgetPartial is the regression test for the
+// budget-exhaustion bugfix: a budget-starved search on a highly symmetric
+// graph must still surface the automorphisms it found before the stop —
+// previously they were discarded along with the partial orbit structure.
+// The returned group must be marked inexact, non-trivial, and consist of
+// genuine automorphisms.
+func TestCanonicalFormAutBudgetPartial(t *testing.T) {
+	g := gen.Cycle(24)
+	// Find a budget that exhausts mid-search but after at least two
+	// leaves; scanning upward keeps the test robust to search-shape
+	// changes (a fixed budget would silently turn vacuous).
+	for budget := 3; budget < 1<<16; budget *= 2 {
+		_, _, aut, exact := g.CanonicalFormAutBudget(budget)
+		if exact {
+			t.Fatalf("budget %d completed the search before any partial-group budget was found", budget)
+		}
+		if aut.Exact() {
+			t.Fatalf("budget %d: exhausted search returned an Exact group", budget)
+		}
+		if aut.IsTrivial() {
+			continue // too starved to reach two equal leaves yet
+		}
+		for gi, p := range aut.Generators() {
+			checkIsAutomorphism(t, g, p, fmt.Sprintf("budget=%d generator %d", budget, gi))
+		}
+		if aut.Order().Cmp(big.NewInt(48)) > 0 {
+			t.Fatalf("budget %d: partial group order %v exceeds |Aut(C24)| = 48", budget, aut.Order())
+		}
+		return // found a budget that surfaces a partial, non-trivial group
+	}
+	t.Fatalf("no budget produced a partial non-trivial group on C24")
+}
+
+// TestCanonicalKeyCellsPairInvariance drives the colored-pair encoding the
+// core orbit mode uses: the key of the layered structure (G, H) must be
+// invariant under simultaneous relabeling, and must separate pairs that
+// are not cell-isomorphic.
+func TestCanonicalKeyCellsPairInvariance(t *testing.T) {
+	layered := func(g, h *graph.Graph) (*graph.Graph, [][]int) {
+		verts := g.Vertices().Slice()
+		k := len(verts)
+		l := graph.New(2 * k)
+		a := make([]int, k)
+		b := make([]int, k)
+		for i := 0; i < k; i++ {
+			a[i], b[i] = i, k+i
+			l.AddEdge(i, k+i)
+			for j := i + 1; j < k; j++ {
+				if g.HasEdge(verts[i], verts[j]) {
+					l.AddEdge(i, j)
+				}
+				if h.HasEdge(verts[i], verts[j]) {
+					l.AddEdge(k+i, k+j)
+				}
+			}
+		}
+		return l, [][]int{a, b}
+	}
+	key := func(g, h *graph.Graph) string {
+		l, cells := layered(g, h)
+		k, _, exact := l.CanonicalKeyCells(cells, 0)
+		if !exact {
+			t.Fatalf("layered search fell back")
+		}
+		return k
+	}
+
+	g := gen.Cycle(6)
+	// Two triangulations of C6 in the same rotation orbit: fill {0-2,0-3,0-4}
+	// rotated by two is {2-4,2-5,0-2}.
+	h1 := g.Clone()
+	h1.AddEdge(0, 2)
+	h1.AddEdge(0, 3)
+	h1.AddEdge(0, 4)
+	h2 := g.Clone()
+	h2.AddEdge(2, 4)
+	h2.AddEdge(2, 5)
+	h2.AddEdge(0, 2)
+	if key(g, h1) != key(g, h2) {
+		t.Fatalf("rotation-equivalent triangulations of C6 got distinct keys")
+	}
+	// The "fan" h1 vs the "triforce" (inner triangle 0-2-4) are NOT in
+	// the same dihedral orbit (the fan has a degree-5 apex, the triforce's
+	// maximum degree is 4); their pair keys must differ.
+	h3 := g.Clone()
+	h3.AddEdge(0, 2)
+	h3.AddEdge(2, 4)
+	h3.AddEdge(0, 4)
+	if key(g, h1) == key(g, h3) {
+		t.Fatalf("fan and triforce triangulations of C6 collided")
+	}
+	// Stabilizer sanity: the fan is fixed only by the reflection through
+	// its apex (order 2).
+	l1, cells1 := layered(g, h1)
+	_, stab, exact := l1.CanonicalKeyCells(cells1, 0)
+	if !exact {
+		t.Fatalf("stabilizer search fell back")
+	}
+	if stab.Order().Cmp(big.NewInt(2)) != 0 {
+		t.Fatalf("fan stabilizer order %v, want 2", stab.Order())
+	}
+}

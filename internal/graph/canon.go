@@ -50,19 +50,25 @@ func (g *Graph) CanonicalForm() (canon *Graph, perm []int, exact bool) {
 // CanonicalFormBudget is CanonicalForm under an explicit search-tree node
 // budget (<= 0 selects DefaultCanonBudget).
 func (g *Graph) CanonicalFormBudget(maxNodes int) (canon *Graph, perm []int, exact bool) {
+	canon, perm, _, exact = g.CanonicalFormAutBudget(maxNodes)
+	return canon, perm, exact
+}
+
+// CanonicalFormAutBudget is CanonicalFormBudget surfacing, in addition,
+// the automorphism group assembled from the generators the search
+// discovered (two leaves with equal encodings yield one). On budget
+// exhaustion the generators found before the stop are NOT discarded: aut
+// then holds the (possibly proper) subgroup they generate, with
+// aut.Exact() false — still genuine automorphisms, still usable for
+// orbit reduction, merely without the guarantee that they generate all
+// of Aut(G).
+func (g *Graph) CanonicalFormAutBudget(maxNodes int) (canon *Graph, perm []int, aut *AutGroup, exact bool) {
 	if maxNodes <= 0 {
 		maxNodes = DefaultCanonBudget
 	}
 	verts := g.verts.Slice()
-	k := len(verts)
-	cs := &canonSearch{g: g, verts: verts, k: k, budget: maxNodes}
-	cs.adj = make([][]bool, k)
-	for i, u := range verts {
-		cs.adj[i] = make([]bool, k)
-		for j, v := range verts {
-			cs.adj[i][j] = g.HasEdge(u, v)
-		}
-	}
+	cs := newCanonSearch(g, verts, maxNodes)
+	k := cs.k
 	if k > 0 {
 		all := make([]int, k)
 		for i := range all {
@@ -92,7 +98,39 @@ func (g *Graph) CanonicalFormBudget(maxNodes int) (canon *Graph, perm []int, exa
 			next++
 		}
 	}
-	return g.Relabel(perm), perm, !cs.stopped
+	return g.Relabel(perm), perm, cs.autGroup(g.n), !cs.stopped
+}
+
+// newCanonSearch builds the search state over g's active vertices listed
+// in verts (the active-index space of the whole search).
+func newCanonSearch(g *Graph, verts []int, maxNodes int) *canonSearch {
+	k := len(verts)
+	cs := &canonSearch{g: g, verts: verts, k: k, budget: maxNodes}
+	cs.adj = make([][]bool, k)
+	for i, u := range verts {
+		cs.adj[i] = make([]bool, k)
+		for j, v := range verts {
+			cs.adj[i][j] = g.HasEdge(u, v)
+		}
+	}
+	return cs
+}
+
+// autGroup translates the discovered generators from active indices to
+// universe labels (identity on inactive vertices) and packages them.
+func (cs *canonSearch) autGroup(n int) *AutGroup {
+	gens := make([][]int, 0, len(cs.gens))
+	for _, gamma := range cs.gens {
+		p := make([]int, n)
+		for v := range p {
+			p[v] = v
+		}
+		for i, j := range gamma {
+			p[cs.verts[i]] = cs.verts[j]
+		}
+		gens = append(gens, p)
+	}
+	return newAutGroup(n, gens, !cs.stopped)
 }
 
 // canonSearch is the state of one individualization–refinement search.
@@ -113,6 +151,16 @@ type canonSearch struct {
 	bestPos   []int    // active index -> canonical position at the best leaf
 	bestOrder []int    // canonical position -> active index at the best leaf
 	gens      [][]int  // discovered automorphisms over active indices
+
+	// The first leaf is kept alongside the best one purely for
+	// automorphism discovery (McKay's dual-target scheme): the best leaf
+	// moves as smaller encodings are found, so automorphisms relating
+	// early equal-encoding leaves to a superseded best would be lost —
+	// and with them, potentially, generators of Aut(G). Comparing every
+	// leaf against the immovable first leaf as well closes that gap.
+	haveFirst  bool
+	first      []uint64
+	firstOrder []int
 }
 
 // explore refines cells to an equitable partition, then either records the
@@ -250,6 +298,19 @@ func (cs *canonSearch) leaf(cells [][]int) {
 			}
 		}
 	}
+	if !cs.haveFirst {
+		cs.haveFirst = true
+		cs.first = enc
+		cs.firstOrder = order
+	} else if len(cs.gens) < canonMaxGens && equalWords(enc, cs.first) {
+		// Equal encodings mean the two labelings present the same matrix:
+		// γ(v) = firstOrder[pos(v)] satisfies adj[γu][γv] = adj[u][v].
+		gamma := make([]int, cs.k)
+		for v := 0; v < cs.k; v++ {
+			gamma[v] = cs.firstOrder[pos[v]]
+		}
+		cs.gens = append(cs.gens, gamma)
+	}
 	if !cs.haveBest || lessWords(enc, cs.best) {
 		cs.haveBest = true
 		cs.best = enc
@@ -257,9 +318,10 @@ func (cs *canonSearch) leaf(cells [][]int) {
 		cs.bestOrder = order
 		return
 	}
-	if len(cs.gens) < canonMaxGens && equalWords(enc, cs.best) {
-		// Equal encodings mean the two labelings present the same matrix:
-		// γ(v) = bestOrder[pos(v)] satisfies adj[γu][γv] = adj[u][v].
+	if len(cs.gens) < canonMaxGens && equalWords(enc, cs.best) && !equalWords(enc, cs.first) {
+		// Ties against a best leaf that is not the first leaf contribute
+		// their own automorphisms (the first-leaf comparison above missed
+		// them), which feed the branch pruning.
 		gamma := make([]int, cs.k)
 		for v := 0; v < cs.k; v++ {
 			gamma[v] = cs.bestOrder[pos[v]]

@@ -20,11 +20,18 @@ import (
 // different sequences, so their keys must never alias. The solver pool
 // itself only ever holds DP solvers (the MIS backends are O(1) to build
 // and are not pooled), so its keys all carry Backend == "dp".
+//
+// Orbits marks an orbit-reduced stream (core.NewOrbitBackend): the
+// reduced sequence is a strict subsequence of the unreduced one, so the
+// two must never share a stream-cache entry. The solver pool never sets
+// it — the pooled DP solver is identical either way and is shared across
+// both modes; all orbit state lives in the per-request wrapper.
 type SolverKey struct {
 	Fingerprint string
 	Cost        string
 	Bound       int
 	Backend     string
+	Orbits      bool
 }
 
 // PoolStats is a snapshot of SolverPool counters.

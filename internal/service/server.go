@@ -99,6 +99,14 @@ type Config struct {
 	// BackendProbeBudget is the separator budget the auto policy probes
 	// under (default core.DefaultProbeBudget).
 	BackendProbeBudget int
+	// DefaultOrbits turns on orbit-reduced enumeration for requests that
+	// don't say: streams emit one representative per automorphism orbit of
+	// minimal triangulations, stamped with orbit_size (core.NewOrbitBackend).
+	// A request's orbits field or ?orbits= query knob overrides it per
+	// request. The mode is gated on label-invariant costs — a request
+	// pairing it with hypertree, fractional-htw or non-uniform statespace
+	// domains is rejected with 400 regardless of this default.
+	DefaultOrbits bool
 }
 
 func (c Config) withDefaults() Config {
@@ -196,6 +204,23 @@ type Server struct {
 	requests atomic.Uint64
 	backends backendCounters
 	canon    canonCounters
+	orbits   orbitModeCounters
+}
+
+// orbitModeCounters aggregates orbit-mode serving for /v1/stats: how many
+// enumerate requests ran orbit-reduced, plus the shared core counters
+// every orbit backend this server builds reports into.
+type orbitModeCounters struct {
+	requests atomic.Uint64
+	core     core.OrbitCounters
+}
+
+func (o *orbitModeCounters) stats(defaultOn bool) OrbitModeStats {
+	return OrbitModeStats{
+		DefaultOn:  defaultOn,
+		Requests:   o.requests.Load(),
+		OrbitStats: o.core.Snapshot(),
+	}
 }
 
 // canonCounters aggregates the canonical-keying funnel for /v1/stats:
@@ -367,6 +392,26 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown backend %q (want auto, dp, mis or mis-scored)", backendName))
 		return
 	}
+	// Orbit-mode resolution mirrors the backend knob: ?orbits= wins over
+	// the request body's orbits field, which wins over the server default.
+	orbits := s.cfg.DefaultOrbits
+	if req.Orbits != nil {
+		orbits = *req.Orbits
+	}
+	if q := r.URL.Query().Get("orbits"); q != "" {
+		v, perr := strconv.ParseBool(q)
+		if perr != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad orbits %q", q))
+			return
+		}
+		orbits = v
+	}
+	if orbits {
+		if err := orbitCostCheck(&req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
 
 	release, err := s.admit(ctx)
 	if err != nil {
@@ -381,6 +426,7 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var backend core.Backend
+	var dpSolver *core.Solver
 	var hit bool
 	if kind == core.BackendDP {
 		key := SolverKey{Fingerprint: g.Fingerprint(), Cost: costKey, Bound: bound, Backend: string(core.BackendDP)}
@@ -419,7 +465,7 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 			writeError(w, status, fmt.Errorf("solver initialization failed (consider ?backend=mis): %v", err))
 			return
 		}
-		backend, hit = solver, poolHit
+		backend, dpSolver, hit = solver, solver, poolHit
 	} else {
 		// The MIS backends are O(1) to construct — the separator stream and
 		// the independent-set walk start lazily on the first result — so
@@ -435,6 +481,16 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.backends.count(kind, autoRouted)
 	key := SolverKey{Fingerprint: g.Fingerprint(), Cost: costKey, Bound: bound, Backend: string(kind)}
+	if orbits {
+		// The orbit wrapper goes around whatever engine was resolved, and
+		// the key gains the Orbits bit so the shared stream cache never
+		// serves a reduced sequence to an unreduced consumer or vice versa.
+		// The pooled DP solver itself stays shared across both modes — all
+		// orbit state lives in the wrapper (and its per-enumeration filter).
+		s.orbits.requests.Add(1)
+		backend = core.NewOrbitBackend(backend, &s.orbits.core)
+		key.Orbits = true
+	}
 	// A canonical hit is a relabeled request served by a solver or
 	// materialized stream that some *other* labeling built — counted
 	// before this request acquires the stream itself.
@@ -469,11 +525,12 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		Cost:     c.Name(),
 		Backend:  string(kind),
 		Ranked:   backend.Ranked(),
+		Orbits:   orbits,
 		Graph:    &GraphInfo{N: clientG.Universe(), M: clientG.NumEdges(), Fingerprint: key.Fingerprint},
 		Results:  pageJSON(clientG, 0, sess.egress(results)),
 	}
-	if solver, isDP := backend.(*core.Solver); isDP {
-		resp.Solver = solverInfo(solver)
+	if dpSolver != nil {
+		resp.Solver = solverInfo(dpSolver)
 	}
 	if !done {
 		resp.Session = sess.Token
@@ -704,6 +761,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Prefetch:      s.prefetchStats(),
 		Backends:      s.backends.stats(),
 		Canon:         s.canon.stats(!s.cfg.NoCanon),
+		Orbits:        s.orbits.stats(s.cfg.DefaultOrbits),
 	})
 }
 

@@ -32,19 +32,31 @@ type EnumerateRequest struct {
 	// server's default; the ?backend= query knob overrides both.
 	Backend string `json:"backend,omitempty"`
 
+	// Orbits selects orbit-reduced enumeration: the stream collapses to
+	// one representative per automorphism-group orbit of triangulations,
+	// each stamped with its orbit_size (Σ orbit_size over the reduced
+	// stream reconstructs the unreduced length). Unset defers to the
+	// server's default; the ?orbits= query knob overrides both. Requires
+	// a label-invariant cost — pairing it with hypertree, fractional-htw
+	// or non-uniform statespace domains is rejected with 400.
+	Orbits *bool `json:"orbits,omitempty"`
+
 	PageSize   int  `json:"page_size,omitempty"`
 	MaxResults int  `json:"max_results,omitempty"`
 	Stream     bool `json:"stream,omitempty"`
 }
 
-// TriangulationJSON is the wire form of one core.Result.
+// TriangulationJSON is the wire form of one core.Result. OrbitSize is
+// present only on orbit-reduced streams: how many minimal triangulations
+// this representative's automorphism orbit contains (≥ 1).
 type TriangulationJSON struct {
-	Index int     `json:"index"`
-	Cost  float64 `json:"cost"`
-	Width int     `json:"width"`
-	Fill  int     `json:"fill"`
-	Bags  [][]int `json:"bags"`
-	Seps  [][]int `json:"separators"`
+	Index     int     `json:"index"`
+	Cost      float64 `json:"cost"`
+	Width     int     `json:"width"`
+	Fill      int     `json:"fill"`
+	OrbitSize int64   `json:"orbit_size,omitempty"`
+	Bags      [][]int `json:"bags"`
+	Seps      [][]int `json:"separators"`
 }
 
 // GraphInfo describes the submitted graph.
@@ -78,8 +90,12 @@ type EnumerateResponse struct {
 	// resolution; Ranked reports whether its results arrive in
 	// non-decreasing cost order (false for the MIS backends, whose order
 	// is arbitrary or merely heuristic).
-	Backend string              `json:"backend,omitempty"`
-	Ranked  bool                `json:"ranked,omitempty"`
+	Backend string `json:"backend,omitempty"`
+	Ranked  bool   `json:"ranked,omitempty"`
+	// Orbits reports whether the stream is orbit-reduced: results then
+	// carry orbit_size and the enumeration emits one representative per
+	// automorphism orbit instead of every triangulation.
+	Orbits  bool                `json:"orbits,omitempty"`
 	Graph   *GraphInfo          `json:"graph,omitempty"`
 	Solver  *SolverInfo         `json:"solver,omitempty"`
 	Results []TriangulationJSON `json:"results"`
@@ -159,6 +175,20 @@ type StatsResponse struct {
 	Prefetch      PrefetchStats   `json:"prefetch"`
 	Backends      BackendStats    `json:"backends"`
 	Canon         CanonStats      `json:"canon"`
+	Orbits        OrbitModeStats  `json:"orbits"`
+}
+
+// OrbitModeStats is the "orbits" block of GET /v1/stats: whether the mode
+// is on by default, how many enumerate requests ran orbit-reduced, and
+// the aggregated core counters of every orbit backend this server built
+// (core.OrbitStats, flattened) — representatives vs skipped results give
+// the realized stream-length reduction, skipped_branches the constrained
+// solves the Lawler–Murty pruner saved, and the trivial/inexact group
+// counts how often the mode degraded to a passthrough.
+type OrbitModeStats struct {
+	DefaultOn bool   `json:"default_on"`
+	Requests  uint64 `json:"requests"`
+	core.OrbitStats
 }
 
 // CanonStats is the "canon" block of GET /v1/stats: the canonical
@@ -205,12 +235,13 @@ func resultJSON(g *graph.Graph, index int, r *core.Result) TriangulationJSON {
 		seps[i] = s.Slice()
 	}
 	return TriangulationJSON{
-		Index: index,
-		Cost:  r.Cost,
-		Width: r.Tree.Width(),
-		Fill:  r.H.NumEdges() - g.NumEdges(),
-		Bags:  bags,
-		Seps:  seps,
+		Index:     index,
+		Cost:      r.Cost,
+		Width:     r.Tree.Width(),
+		Fill:      r.H.NumEdges() - g.NumEdges(),
+		OrbitSize: r.OrbitSize,
+		Bags:      bags,
+		Seps:      seps,
 	}
 }
 
@@ -370,6 +401,33 @@ func buildCost(req *EnumerateRequest, g *graph.Graph, h *hyper.Hypergraph) (cost
 		return h.FractionalHypertreeWidthCost(), "fractional-htw:" + hyperFingerprint(h), nil
 	}
 	return nil, "", fmt.Errorf("unknown cost %q", name)
+}
+
+// orbitCostCheck gates orbit mode on label-invariant costs. Collapsing an
+// orbit to one representative is only sound when every member has the
+// representative's cost — true of width, fill and their lexicographic
+// combination, and of statespace under uniform (or default) domains, but
+// false once per-vertex domains differ or the ranking reads a hypergraph
+// (hypertree, fractional-htw): there, isomorphic triangulations rank
+// differently and the collapse would hide real answers. Runs after
+// buildCost, so unknown cost names are already rejected.
+func orbitCostCheck(req *EnumerateRequest) error {
+	name := req.Cost
+	if name == "" {
+		name = "width"
+	}
+	switch name {
+	case "width", "fill", "lex", "width-fill":
+		return nil
+	case "statespace":
+		for _, d := range req.Domains {
+			if d != req.Domains[0] {
+				return fmt.Errorf("orbit mode requires a label-invariant cost: statespace with non-uniform domains ranks isomorphic triangulations differently")
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("orbit mode requires a label-invariant cost; %q is label-sensitive", name)
 }
 
 // hyperFingerprint hashes the hyperedge multiset (order-insensitively) so
