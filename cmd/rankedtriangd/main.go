@@ -40,6 +40,8 @@ func main() {
 		pageSize      = flag.Int("page-size", 10, "default results per page")
 		concurrency   = flag.Int("concurrency", 8, "max requests admitted into solving at once")
 		maxVertices   = flag.Int("max-vertices", 128, "reject graphs larger than this")
+		maxBody       = flag.Int64("max-body", 16<<20, "request body byte cap (413 past it); batch deployments raise it")
+		maxBatch      = flag.Int("max-batch", 256, "maximum problems one /v1/batch request may carry")
 		initTimeout   = flag.Duration("init-timeout", 60*time.Second, "per-graph solver initialization budget")
 		streamTimeout = flag.Duration("stream-timeout", 5*time.Minute, "total lifetime budget of one NDJSON stream")
 		streamBudget  = flag.Int64("stream-budget", 64<<20, "byte budget for shared materialized result buffers (LRU-evicted past it)")
@@ -68,6 +70,8 @@ func main() {
 		PageSize:           *pageSize,
 		MaxConcurrent:      *concurrency,
 		MaxVertices:        *maxVertices,
+		MaxBodyBytes:       *maxBody,
+		MaxBatchItems:      *maxBatch,
 		InitTimeout:        *initTimeout,
 		StreamTimeout:      *streamTimeout,
 		StreamBudgetBytes:  *streamBudget,

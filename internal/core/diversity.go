@@ -34,6 +34,57 @@ func FillDistance(g *graph.Graph, a, b *Result) int {
 	return d
 }
 
+// DiverseSelect greedily picks up to k indices into pool maximizing the
+// minimum pairwise fill distance of the picked triangulations, always
+// keeping index 0 (the ranked optimum) first. The returned indices are in
+// selection order — the optimum, then each pick maximizing its distance
+// to everything chosen so far — so a prefix of the selection is itself a
+// valid (smaller) diverse portfolio. When the pool holds k or fewer
+// results every index is returned in rank order: there is nothing to
+// choose between.
+//
+// The pool is any ranked (or merely deterministic) prefix of an
+// enumeration: Solver.DiverseTopK feeds it from TopK, and the serving
+// tier feeds it from a shared materialized stream so the diversification
+// window is cached and deduplicated across clients like any other read.
+func DiverseSelect(g *graph.Graph, pool []*Result, k int) []int {
+	if k <= 0 || len(pool) == 0 {
+		return nil
+	}
+	if len(pool) <= k {
+		out := make([]int, len(pool))
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	chosen := []int{0} // the optimum is non-negotiable
+	used := map[int]bool{0: true}
+	for len(chosen) < k {
+		bestIdx, bestDist := -1, -1
+		for i, cand := range pool {
+			if used[i] {
+				continue
+			}
+			minDist := int(^uint(0) >> 1)
+			for _, c := range chosen {
+				if d := FillDistance(g, cand, pool[c]); d < minDist {
+					minDist = d
+				}
+			}
+			if minDist > bestDist {
+				bestIdx, bestDist = i, minDist
+			}
+		}
+		if bestIdx == -1 {
+			break
+		}
+		used[bestIdx] = true
+		chosen = append(chosen, bestIdx)
+	}
+	return chosen
+}
+
 // DiverseTopK addresses the diversification question of the paper's
 // concluding remarks: among the `window` cheapest minimal triangulations,
 // greedily select k that maximize the minimum pairwise fill distance,
@@ -51,32 +102,10 @@ func (s *Solver) DiverseTopK(k, window int) []*Result {
 		window = 4 * k
 	}
 	pool := s.TopK(window)
-	if len(pool) <= k {
-		return pool
+	idx := DiverseSelect(s.g, pool, k)
+	out := make([]*Result, len(idx))
+	for i, j := range idx {
+		out[i] = pool[j]
 	}
-	chosen := []*Result{pool[0]} // the optimum is non-negotiable
-	used := map[int]bool{0: true}
-	for len(chosen) < k {
-		bestIdx, bestDist := -1, -1
-		for i, cand := range pool {
-			if used[i] {
-				continue
-			}
-			minDist := int(^uint(0) >> 1)
-			for _, c := range chosen {
-				if d := FillDistance(s.g, cand, c); d < minDist {
-					minDist = d
-				}
-			}
-			if minDist > bestDist {
-				bestIdx, bestDist = i, minDist
-			}
-		}
-		if bestIdx == -1 {
-			break
-		}
-		used[bestIdx] = true
-		chosen = append(chosen, pool[bestIdx])
-	}
-	return chosen
+	return out
 }

@@ -29,22 +29,36 @@ func NewProblem(domains []int) *Problem {
 	}
 }
 
-// Allow declares that (x=a, y=b) is an allowed combination. The first
-// Allow call for a pair (x, y) switches that pair from "unconstrained" to
-// "only explicitly allowed combinations".
-func (p *Problem) Allow(x, y int, a, b int) {
+// Constrain marks the pair (x, y) as constrained without allowing any
+// combination yet. Until Allow adds tuples the pair admits nothing —
+// a trivially unsatisfiable constraint — whereas an untouched pair
+// permits every combination. It is the explicit form of the switch the
+// first Allow call performs, and the only way to express an empty
+// allowed set (which wire decoders need: a constraint arriving with zero
+// allowed tuples must not silently mean "unconstrained").
+func (p *Problem) Constrain(x, y int) {
 	if x == y {
 		panic("csp: unary constraints are modeled by shrinking the domain")
 	}
 	if x > y {
 		x, y = y, x
-		a, b = b, a
 	}
 	key := [2]int{x, y}
 	if p.constraints[key] == nil {
 		p.constraints[key] = map[[2]int]bool{}
 	}
-	p.constraints[key][[2]int{a, b}] = true
+}
+
+// Allow declares that (x=a, y=b) is an allowed combination. The first
+// Allow or Constrain call for a pair (x, y) switches that pair from
+// "unconstrained" to "only explicitly allowed combinations".
+func (p *Problem) Allow(x, y int, a, b int) {
+	if x > y {
+		x, y = y, x
+		a, b = b, a
+	}
+	p.Constrain(x, y)
+	p.constraints[[2]int{x, y}][[2]int{a, b}] = true
 }
 
 // AllowFunc bulk-declares allowed combinations for the pair via a

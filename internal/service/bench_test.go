@@ -289,3 +289,52 @@ func BenchmarkSolverPoolCachedFetch(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkBatchThroughput is the /v1/batch headline: one request
+// carrying N isomorphic problems (the batchy templated workload of PR 8,
+// now in a single round trip) against the full handler stack. The
+// compile layer collapses the members onto one canonical solver/stream
+// key, so per-iteration work approaches one solve plus N-1 cache reads;
+// problems/sec is the reported throughput metric.
+func BenchmarkBatchThroughput(b *testing.B) {
+	const members = 8
+	srv := New(Config{})
+	defer srv.Close()
+	rng := rand.New(rand.NewSource(11))
+	copies := gen.IsoCopies(rng, gen.Cycle(8), members)
+	var problems []string
+	for _, g := range copies {
+		edges, err := json.Marshal(g.Edges())
+		if err != nil {
+			b.Fatal(err)
+		}
+		problems = append(problems, fmt.Sprintf(`{"edges": %s, "cost": "fill", "page_size": 5}`, edges))
+	}
+	body := fmt.Sprintf(`{"problems": [%s]}`, strings.Join(problems, ","))
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/batch", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.Bytes())
+		}
+		var out BatchResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			b.Fatal(err)
+		}
+		if out.Errors != 0 || len(out.Items) != members {
+			b.Fatalf("batch failed: %d errors over %d items", out.Errors, len(out.Items))
+		}
+		// Keep the session table from saturating across iterations.
+		for _, item := range out.Items {
+			if item.Response != nil && item.Response.Session != "" {
+				srv.Sessions().Remove(item.Response.Session)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*members)/b.Elapsed().Seconds(), "problems/sec")
+}

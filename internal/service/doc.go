@@ -36,6 +36,15 @@
 //     streaming mode reads the same shared buffers as the paging
 //     sessions. cmd/rankedtriangd is the daemon around it.
 //
+// Every ingress route runs through one problem-compilation step
+// (compileProblem): graph construction, canonical relabeling, cost and
+// bound resolution, knob parsing and cache-key derivation happen once,
+// in one place, for /v1/enumerate, /v1/batch, /v1/hypergraph and
+// /v1/csp alike. Endpoints differ only in how they source the request
+// and what they do with the ranked stream afterwards, so every workload
+// shares the solver pool, the stream buffers and the
+// isomorphism-canonical cache keys.
+//
 // # HTTP API
 //
 // POST /v1/enumerate — submit a graph and start an enumeration.
@@ -74,6 +83,64 @@
 // {"done":true,"count":N}. No session is created; disconnecting cancels
 // the enumeration.
 //
+// Solve knobs can also ride the query string on every POST route —
+// ?backend=, ?orbits=, ?diverse=, ?window= — with a fixed precedence:
+// query parameter over body field over server default. ?diverse=k
+// switches the response to a one-shot diverse portfolio: the first
+// ?window= ranks (default 4096, capped) are materialized and k results
+// are picked greedily to maximize the minimum pairwise fill-edge
+// distance, always leading with the true optimum. The response carries
+// "diverse" and "window" (the pool actually examined), each result
+// keeps its original rank as "index", and no session is created —
+// diverse mode cannot combine with "stream".
+//
+// POST /v1/batch — submit many problems in one request:
+//
+//	{"problems": [{"graph6": "D?{", "cost": "fill"}, {"n": 4, "edges": [[0,1]]}, …]}
+//
+// Every member is an EnumerateRequest (graph, hypergraph or edge-list
+// source; any cost; per-member diverse mode; "stream" is rejected
+// inside a batch). All members are compiled before any is solved, then
+// solved sequentially under a single admission slot — isomorphic
+// members compile to the same canonical cache key, so N copies of one
+// problem cost one solver build and one materialized stream. The
+// response is {"items": [{"response": …} | {"error": "…"}, …],
+// "errors": N}: per-member failures are recorded in place and do not
+// fail the batch (the request itself 400s only for an empty or
+// over-limit batch, Config.MaxBatchItems / -max-batch). Query knobs
+// apply batch-wide.
+//
+// POST /v1/hypergraph — rank triangulations of a relation schema's
+// primal graph. The body takes "hyperedges" only (graph6/edges are
+// rejected here; /v1/enumerate still accepts hypergraph bodies
+// unchanged), the cost defaults to "hypertree" (generalized hypertree
+// width), and the response is the /v1/enumerate shape plus
+//
+//	"hypergraph": {"vertices": 9, "hyperedges": 6, "primal_edges": 15}
+//
+// Sessions, streaming and diverse mode all work as on /v1/enumerate.
+//
+// POST /v1/csp — rank decompositions of a binary CSP's constraint
+// graph and optionally run the internal/csp dynamic program over the
+// best one as the payoff:
+//
+//	{
+//	  "domains": [3,3,3],                  // one variable per entry, |D_i| ≥ 1
+//	  "constraints": [{"scope": [0,1],     // binary scope, x ≠ y
+//	                   "allowed": [[0,1],[1,0]]}],  // allowed value pairs;
+//	                                       // empty list = unsatisfiable constraint
+//	  "cost": "statespace",                // default: Σ ∏ domains over bags
+//	  "solve": true, "count": true         // run the DP on the top-ranked tree
+//	}
+//
+// The enumeration ranks tree decompositions of the constraint graph
+// (statespace under the declared domains models the DP's table work);
+// with "solve"/"count" the response adds
+//
+//	"csp": {"satisfiable": true, "assignment": [0,1,0], "count": 6}
+//
+// computed by the join-tree DP over the top-ranked decomposition.
+//
 // GET /v1/sessions/{token}/next?page_size=N — the next page for a live
 // session. Returns {"session","done","results"}; when done is true the
 // session is closed and the token becomes invalid (404 afterwards).
@@ -91,7 +158,12 @@
 // — close early.
 //
 // GET /v1/stats — cache hit rates, live/expired session counts, request
-// totals, and the incremental-solve counters aggregated over the cached
+// totals, the ingress workload mix
+//
+//	"workloads": {"enumerate": 40, "batch": 3, "batch_problems": 24,
+//	              "hypergraph": 5, "csp": 2, "csp_solves": 2, "diverse": 4}
+//
+// and the incremental-solve counters aggregated over the cached
 // solvers:
 //
 //	"solver": {"constrained_solves": 812, "dirty_blocks": 74692,
@@ -144,7 +216,8 @@
 // liveness.
 //
 // Errors are {"error": "…"} with a 4xx/5xx status: 400 for malformed
-// graphs or unknown costs, 404 for unknown sessions, 429 when the session
-// table is full, 503 when admission or initialization is cancelled or
-// times out, or when the server is shutting down.
+// graphs, unknown costs or bad knobs, 404 for unknown sessions, 413 when
+// the request body exceeds Config.MaxBodyBytes (-max-body), 429 when the
+// session table is full, 503 when admission or initialization is
+// cancelled or times out, or when the server is shutting down.
 package service

@@ -34,6 +34,13 @@ type Config struct {
 	// is exponential in the worst case, so a service must bound its
 	// inputs (default 128).
 	MaxVertices int
+	// MaxBodyBytes caps request bodies (default 16 MiB; 413 past it).
+	// Batch deployments raise it — a /v1/batch body carries many problems.
+	MaxBodyBytes int64
+	// MaxBatchItems caps the problems one /v1/batch request may carry
+	// (default 256). The whole batch runs under a single admission slot,
+	// so the cap bounds how much solving one slot can be made to do.
+	MaxBatchItems int
 	// InitTimeout bounds one solver initialization (default 60s).
 	InitTimeout time.Duration
 	// StreamTimeout bounds one NDJSON stream's total lifetime (default
@@ -134,6 +141,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxVertices <= 0 {
 		c.MaxVertices = 128
 	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = defaultMaxBatchItems
+	}
 	if c.InitTimeout <= 0 {
 		c.InitTimeout = 60 * time.Second
 	}
@@ -188,23 +201,47 @@ const defaultPrefetchAhead = 64
 // speculation alone cannot evict several demand-built buffers.
 const defaultPrefetchBytes = defaultStreamBudget / 8
 
-// maxBodyBytes caps request bodies.
-const maxBodyBytes = 16 << 20
+// defaultMaxBodyBytes caps request bodies when Config.MaxBodyBytes is
+// unset.
+const defaultMaxBodyBytes = 16 << 20
+
+// defaultMaxBatchItems caps one /v1/batch request's problem count when
+// Config.MaxBatchItems is unset.
+const defaultMaxBatchItems = 256
 
 // Server is the ranked-enumeration HTTP service (see the package doc for
 // the API). It is an http.Handler; Close releases every live session.
 type Server struct {
-	cfg      Config
-	pool     *SolverPool
-	streams  *StreamStore
-	sessions *SessionManager
-	sem      chan struct{}
-	mux      *http.ServeMux
-	start    time.Time
-	requests atomic.Uint64
-	backends backendCounters
-	canon    canonCounters
-	orbits   orbitModeCounters
+	cfg       Config
+	pool      *SolverPool
+	streams   *StreamStore
+	sessions  *SessionManager
+	sem       chan struct{}
+	mux       *http.ServeMux
+	start     time.Time
+	requests  atomic.Uint64
+	backends  backendCounters
+	canon     canonCounters
+	orbits    orbitModeCounters
+	workloads workloadCounters
+}
+
+// workloadCounters counts served requests per ingress shape for the
+// /v1/stats "workloads" block.
+type workloadCounters struct {
+	enumerate, batch, batchProblems, hypergraph, csp, cspSolves, diverse atomic.Uint64
+}
+
+func (c *workloadCounters) stats() WorkloadStats {
+	return WorkloadStats{
+		Enumerate:     c.enumerate.Load(),
+		Batch:         c.batch.Load(),
+		BatchProblems: c.batchProblems.Load(),
+		Hypergraph:    c.hypergraph.Load(),
+		CSP:           c.csp.Load(),
+		CSPSolves:     c.cspSolves.Load(),
+		Diverse:       c.diverse.Load(),
+	}
 }
 
 // orbitModeCounters aggregates orbit-mode serving for /v1/stats: how many
@@ -292,6 +329,9 @@ func New(cfg Config) *Server {
 		start:    time.Now(),
 	}
 	s.mux.HandleFunc("POST /v1/enumerate", s.handleEnumerate)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/hypergraph", s.handleHypergraph)
+	s.mux.HandleFunc("POST /v1/csp", s.handleCSP)
 	s.mux.HandleFunc("GET /v1/sessions/{token}/next", s.handleNext)
 	s.mux.HandleFunc("GET /v1/sessions/{token}", s.handleSessionInfo)
 	s.mux.HandleFunc("DELETE /v1/sessions/{token}", s.handleSessionDelete)
@@ -333,84 +373,39 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 	}
 }
 
+// decodeRequest decodes a JSON request body under the configured body
+// cap, writing the client error itself (400 for malformed JSON, 413 for
+// an over-long body) and reporting whether the handler should proceed.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes (raise -max-body)", tooBig.Limit))
+		} else {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %v", err))
+		}
+		return false
+	}
+	return true
+}
+
+// handleEnumerate is the single-problem ingress: compile, admit, build
+// the engine, respond. Every stage is shared with /v1/batch,
+// /v1/hypergraph and /v1/csp — this handler is just the thinnest
+// composition of the compilation layer (see compile.go).
 func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	var req EnumerateRequest
-	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %v", err))
+	if !s.decodeRequest(w, r, &req) {
 		return
 	}
-	g, h, err := buildGraph(&req, s.cfg.MaxVertices)
+	s.workloads.enumerate.Add(1)
+	cp, err := s.compileProblem(&req, r.URL.Query())
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
-	}
-	// Canonical keying (the heart of this tier's cache): relabel the graph
-	// — and every label-carrying cost parameter — into its canonical form
-	// before the cost is built and the solver key is derived, so that
-	// isomorphic submissions with different vertex numberings share one
-	// solver and one materialized stream. fromCanon is the per-request
-	// egress permutation mapping the shared stream's canonical labels back
-	// to this client's labels; nil means no relabeling is needed.
-	clientG := g
-	var fromCanon []int
-	if !s.cfg.NoCanon {
-		g, h, fromCanon = s.canonicalize(&req, g, h)
-	}
-	c, costKey, err := buildCost(&req, g, h)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	bound := -1
-	if req.Bound != nil {
-		if *req.Bound < 0 {
-			writeError(w, http.StatusBadRequest, errors.New("bound must be non-negative"))
-			return
-		}
-		bound = *req.Bound
-	}
-	pageSize, err := clampPageSize(req.PageSize, s.cfg.PageSize)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	// Backend resolution: the ?backend= query knob wins over the request
-	// body's backend field, which wins over the server default. "auto" is
-	// resolved after admission — the probe is real (if budget-bounded)
-	// work.
-	backendName := r.URL.Query().Get("backend")
-	if backendName == "" {
-		backendName = req.Backend
-	}
-	if backendName == "" {
-		backendName = s.cfg.DefaultBackend
-	}
-	kind, ok := core.ParseBackendKind(backendName)
-	if !ok {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown backend %q (want auto, dp, mis or mis-scored)", backendName))
-		return
-	}
-	// Orbit-mode resolution mirrors the backend knob: ?orbits= wins over
-	// the request body's orbits field, which wins over the server default.
-	orbits := s.cfg.DefaultOrbits
-	if req.Orbits != nil {
-		orbits = *req.Orbits
-	}
-	if q := r.URL.Query().Get("orbits"); q != "" {
-		v, perr := strconv.ParseBool(q)
-		if perr != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad orbits %q", q))
-			return
-		}
-		orbits = v
-	}
-	if orbits {
-		if err := orbitCostCheck(&req); err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
 	}
 
 	release, err := s.admit(ctx)
@@ -420,120 +415,26 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	autoRouted := kind == core.BackendAuto
-	if autoRouted {
-		kind = core.SelectBackend(ctx, g, kind, s.cfg.BackendProbeBudget)
-	}
-
-	var backend core.Backend
-	var dpSolver *core.Solver
-	var hit bool
-	if kind == core.BackendDP {
-		key := SolverKey{Fingerprint: g.Fingerprint(), Cost: costKey, Bound: bound, Backend: string(core.BackendDP)}
-		solver, poolHit, err := s.pool.Get(ctx, key, func(bctx context.Context) (*core.Solver, error) {
-			bctx, cancel := context.WithTimeout(bctx, s.cfg.InitTimeout)
-			defer cancel()
-			opts := core.Options{NoDecompose: s.cfg.NoDecompose}
-			if bound >= 0 {
-				b := bound
-				opts.WidthBound = &b
-			}
-			solver, err := core.New(bctx, g, c, opts)
-			if err != nil {
-				return nil, err
-			}
-			// Force the decomposed solver's lazy per-atom initialization here,
-			// inside the timeout-bounded singleflight build, so a huge atom
-			// cannot smuggle unbounded init work past InitTimeout into the
-			// first paging call.
-			if err := solver.Prepare(bctx); err != nil {
-				return nil, err
-			}
-			// Applied inside the build, before the solver is published to any
-			// other waiter.
-			solver.SetFullResolve(s.cfg.FullResolve)
-			return solver, nil
-		})
-		if err != nil {
-			// Cancelled or out-of-budget initialization is a capacity signal
-			// (503, as documented), not a server bug (500). The error names
-			// the escape hatch: the MIS backend has no init to time out.
-			status := http.StatusInternalServerError
-			if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				status = http.StatusServiceUnavailable
-			}
-			writeError(w, status, fmt.Errorf("solver initialization failed (consider ?backend=mis): %v", err))
-			return
-		}
-		backend, dpSolver, hit = solver, solver, poolHit
-	} else {
-		// The MIS backends are O(1) to construct — the separator stream and
-		// the independent-set walk start lazily on the first result — so
-		// there is nothing to pool and no init budget to enforce. The
-		// shared-stream cache still dedups the enumeration work across
-		// consumers by key.
-		opts := core.MISOptions{Scored: kind == core.BackendMISScored}
-		if bound >= 0 {
-			b := bound
-			opts.WidthBound = &b
-		}
-		backend = core.NewMISBackend(g, c, opts)
-	}
-	s.backends.count(kind, autoRouted)
-	key := SolverKey{Fingerprint: g.Fingerprint(), Cost: costKey, Bound: bound, Backend: string(kind)}
-	if orbits {
-		// The orbit wrapper goes around whatever engine was resolved, and
-		// the key gains the Orbits bit so the shared stream cache never
-		// serves a reduced sequence to an unreduced consumer or vice versa.
-		// The pooled DP solver itself stays shared across both modes — all
-		// orbit state lives in the wrapper (and its per-enumeration filter).
-		s.orbits.requests.Add(1)
-		backend = core.NewOrbitBackend(backend, &s.orbits.core)
-		key.Orbits = true
-	}
-	// A canonical hit is a relabeled request served by a solver or
-	// materialized stream that some *other* labeling built — counted
-	// before this request acquires the stream itself.
-	if fromCanon != nil && (hit || s.streams.Contains(key)) {
-		s.canon.hits.Add(1)
+	backend, dpSolver, hit, status, err := s.buildBackend(ctx, cp)
+	if err != nil {
+		writeError(w, status, err)
+		return
 	}
 
 	if req.Stream {
-		s.streamResults(w, r, clientG, backend, key, fromCanon, req.MaxResults)
+		s.streamResults(w, r, cp.ClientGraph, backend, cp.Key, cp.FromCanon, req.MaxResults)
 		return
 	}
 
-	sess, err := s.sessions.Create(backend, key, clientG, fromCanon)
+	var resp *EnumerateResponse
+	if cp.Diverse > 0 {
+		resp, _, status, err = s.diverseResponse(ctx, cp, backend, dpSolver, hit)
+	} else {
+		resp, _, status, err = s.pagedResponse(ctx, cp, backend, dpSolver, hit)
+	}
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeError(w, status, err)
 		return
-	}
-	_, results, done, pageErr := sess.NextPage(ctx, pageSize)
-	if done || pageErr != nil || ctx.Err() != nil {
-		// Exhausted in the first page, evicted under us, or the client is
-		// gone before it ever saw the token: either way no live session
-		// must remain behind.
-		s.sessions.Remove(sess.Token)
-	}
-	if pageErr != nil || ctx.Err() != nil {
-		writeError(w, http.StatusServiceUnavailable, errors.New("request cancelled"))
-		return
-	}
-	resp := &EnumerateResponse{
-		Done:     done,
-		CacheHit: hit,
-		Cost:     c.Name(),
-		Backend:  string(kind),
-		Ranked:   backend.Ranked(),
-		Orbits:   orbits,
-		Graph:    &GraphInfo{N: clientG.Universe(), M: clientG.NumEdges(), Fingerprint: key.Fingerprint},
-		Results:  pageJSON(clientG, 0, sess.egress(results)),
-	}
-	if dpSolver != nil {
-		resp.Solver = solverInfo(dpSolver)
-	}
-	if !done {
-		resp.Session = sess.Token
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -762,6 +663,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Backends:      s.backends.stats(),
 		Canon:         s.canon.stats(!s.cfg.NoCanon),
 		Orbits:        s.orbits.stats(s.cfg.DefaultOrbits),
+		Workloads:     s.workloads.stats(),
 	})
 }
 

@@ -41,6 +41,17 @@ type EnumerateRequest struct {
 	// or non-uniform statespace domains is rejected with 400.
 	Orbits *bool `json:"orbits,omitempty"`
 
+	// Diverse selects the diverse-portfolio response mode: instead of the
+	// first page of the ranked order, return Diverse results chosen from
+	// the first Window ranks to maximize pairwise fill distance
+	// (core.DiverseSelect), optimum always first, in one session-less
+	// response. Window defaults to 4·Diverse and is capped; each result
+	// keeps its rank in the underlying enumeration as its index. The
+	// ?diverse= / ?window= query knobs override these fields. Incompatible
+	// with Stream.
+	Diverse int `json:"diverse,omitempty"`
+	Window  int `json:"window,omitempty"`
+
 	PageSize   int  `json:"page_size,omitempty"`
 	MaxResults int  `json:"max_results,omitempty"`
 	Stream     bool `json:"stream,omitempty"`
@@ -99,6 +110,95 @@ type EnumerateResponse struct {
 	Graph   *GraphInfo          `json:"graph,omitempty"`
 	Solver  *SolverInfo         `json:"solver,omitempty"`
 	Results []TriangulationJSON `json:"results"`
+	// Diverse/Window report the diverse-portfolio mode: Diverse is the
+	// requested portfolio size, Window how many ranks of the stream were
+	// actually materialized as candidates (smaller than requested when the
+	// enumeration is finite). Zero on normal paged responses.
+	Diverse int `json:"diverse,omitempty"`
+	Window  int `json:"window,omitempty"`
+	// Hypergraph is set by /v1/hypergraph: the shape of the submitted
+	// hypergraph and its server-built primal graph.
+	Hypergraph *HypergraphInfo `json:"hypergraph,omitempty"`
+	// CSP is set by /v1/csp when the request asked for the solve/count
+	// payoff over the top-ranked decomposition.
+	CSP *CSPSolutionJSON `json:"csp,omitempty"`
+}
+
+// HypergraphInfo describes the hypergraph behind a /v1/hypergraph
+// request: the service built PrimalEdges pairwise edges from Hyperedges
+// hyperedges and enumerated decompositions of that primal graph.
+type HypergraphInfo struct {
+	Vertices    int `json:"vertices"`
+	Hyperedges  int `json:"hyperedges"`
+	PrimalEdges int `json:"primal_edges"`
+}
+
+// BatchRequest is the body of POST /v1/batch: many enumeration problems
+// sharing one HTTP round trip and one admission slot. Query knobs
+// (?backend=, ?orbits=, ?diverse=, ?window=) apply batch-wide, overriding
+// each problem's own fields.
+type BatchRequest struct {
+	Problems []EnumerateRequest `json:"problems"`
+}
+
+// BatchItem is one problem's outcome within a BatchResponse: exactly one
+// of Response or Error is set. A failing problem never fails the batch.
+type BatchItem struct {
+	Response *EnumerateResponse `json:"response,omitempty"`
+	Error    string             `json:"error,omitempty"`
+}
+
+// BatchResponse is the body of POST /v1/batch. Items aligns with the
+// request's problems; Errors counts the items that failed.
+type BatchResponse struct {
+	Items  []BatchItem `json:"items"`
+	Errors int         `json:"errors,omitempty"`
+}
+
+// CSPConstraint is one binary constraint of a /v1/csp request: the two
+// distinct variables it relates and the explicitly allowed value pairs
+// (aligned with Scope). An empty Allowed list is a real constraint — it
+// admits nothing, making the problem unsatisfiable — not an absent one.
+type CSPConstraint struct {
+	Scope   [2]int   `json:"scope"`
+	Allowed [][2]int `json:"allowed"`
+}
+
+// CSPRequest is the body of POST /v1/csp: a binary constraint-satisfaction
+// problem. The service builds the constraint graph server-side and ranks
+// its decompositions exactly like /v1/enumerate (Cost defaults to
+// "statespace" under the variable domains — the cost that models the
+// CSP DP's table work); Solve/Count additionally run the csp DP over the
+// top-ranked decomposition and report the payoff in the response's CSP
+// block.
+type CSPRequest struct {
+	// Domains is the domain size per variable (values 0..d-1); its length
+	// is the variable count.
+	Domains     []int           `json:"domains"`
+	Constraints []CSPConstraint `json:"constraints,omitempty"`
+
+	Cost     string `json:"cost,omitempty"`
+	Bound    *int   `json:"bound,omitempty"`
+	Backend  string `json:"backend,omitempty"`
+	Orbits   *bool  `json:"orbits,omitempty"`
+	PageSize int    `json:"page_size,omitempty"`
+	Diverse  int    `json:"diverse,omitempty"`
+	Window   int    `json:"window,omitempty"`
+
+	// Solve asks for one satisfying assignment (or a definitive
+	// unsatisfiable); Count for the number of satisfying assignments. Both
+	// run the DP of internal/csp over the top-ranked decomposition — the
+	// paper's motivating payoff: pick the bag structure first, then pay
+	// the DP under it.
+	Solve bool `json:"solve,omitempty"`
+	Count bool `json:"count,omitempty"`
+}
+
+// CSPSolutionJSON is the CSP payoff block of a /v1/csp response.
+type CSPSolutionJSON struct {
+	Satisfiable bool   `json:"satisfiable"`
+	Assignment  []int  `json:"assignment,omitempty"`
+	Count       *int64 `json:"count,omitempty"`
 }
 
 // SessionInfo is the body of GET /v1/sessions/{token}.
@@ -176,6 +276,23 @@ type StatsResponse struct {
 	Backends      BackendStats    `json:"backends"`
 	Canon         CanonStats      `json:"canon"`
 	Orbits        OrbitModeStats  `json:"orbits"`
+	Workloads     WorkloadStats   `json:"workloads"`
+}
+
+// WorkloadStats is the "workloads" block of GET /v1/stats: requests per
+// ingress shape. Enumerate counts /v1/enumerate, Batch counts /v1/batch
+// requests and BatchProblems the problems inside them, Hypergraph and CSP
+// count their endpoints, CSPSolves the csp requests that ran the solve/
+// count DP payoff, and Diverse the requests (any endpoint) served in the
+// ?diverse=k portfolio mode.
+type WorkloadStats struct {
+	Enumerate     uint64 `json:"enumerate"`
+	Batch         uint64 `json:"batch"`
+	BatchProblems uint64 `json:"batch_problems"`
+	Hypergraph    uint64 `json:"hypergraph"`
+	CSP           uint64 `json:"csp"`
+	CSPSolves     uint64 `json:"csp_solves"`
+	Diverse       uint64 `json:"diverse"`
 }
 
 // OrbitModeStats is the "orbits" block of GET /v1/stats: whether the mode
